@@ -1,0 +1,28 @@
+//===- bench/bench_fig2_pagefaults_gs.cpp - Paper Figure 2 ----------------===//
+//
+// Regenerates Figure 2: page fault rate for GhostScript as a function of
+// physical memory size, for all five allocators (4 KB pages, LRU).
+//
+// Shape to reproduce: the sequential-fit allocators (especially FIRSTFIT)
+// degrade far faster as memory shrinks; BSD needs more total memory; the
+// segregated-storage allocators are the most "resilient".
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  std::optional<BenchOptions> Options = parseBenchOptions(Argc, Argv, Cli);
+  if (!Options)
+    return 1;
+  printBanner("Figure 2: page fault rate vs memory size, GhostScript",
+              *Options);
+  runPageFaultFigure(WorkloadId::Gs,
+                     {256, 512, 768, 1024, 1536, 2048, 2560, 3072, 3584,
+                      4096, 5120, 6144, 8192},
+                     *Options);
+  return 0;
+}

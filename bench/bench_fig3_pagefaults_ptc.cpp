@@ -1,0 +1,29 @@
+//===- bench/bench_fig3_pagefaults_ptc.cpp - Paper Figure 3 ---------------===//
+//
+// Regenerates Figure 3: page fault rate for PTC (Pascal-to-C) as a function
+// of physical memory size. PTC never frees, so differences between
+// allocators come from per-object overhead and rounding policies — the
+// paper finds "little effective difference" here apart from BSD's extra
+// space.
+//
+// Note: PTC cannot be scaled without shrinking its heap (it frees nothing),
+// so this benchmark always runs PTC's full 103K allocations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  std::optional<BenchOptions> Options = parseBenchOptions(Argc, Argv, Cli);
+  if (!Options)
+    return 1;
+  printBanner("Figure 3: page fault rate vs memory size, PTC", *Options);
+  runPageFaultFigure(WorkloadId::Ptc,
+                     {128, 256, 512, 768, 1024, 1536, 2048, 2560, 3072,
+                      3584, 4096, 5120},
+                     *Options);
+  return 0;
+}

@@ -1,0 +1,22 @@
+//===- bench/bench_fig5_exectime_64k.cpp - Paper Figure 5 -----------------===//
+//
+// Regenerates Figure 5: normalized execution time with a 64K direct-mapped
+// cache and 25-cycle miss penalty (same presentation as Figure 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  std::optional<BenchOptions> Options = parseBenchOptions(Argc, Argv, Cli);
+  if (!Options)
+    return 1;
+  printBanner("Figure 5: normalized execution time, 64K direct-mapped "
+              "cache, 25-cycle penalty",
+              *Options);
+  emitNormalizedTimeStudy(64, *Options);
+  return 0;
+}

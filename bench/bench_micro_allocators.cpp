@@ -1,0 +1,106 @@
+//===- bench/bench_micro_allocators.cpp - Allocator micro-benchmarks ------===//
+//
+// google-benchmark microbenchmarks of the five allocator implementations:
+// steady-state malloc/free pairs and batch churn inside the simulated
+// heap. Two counters are reported per benchmark:
+//
+//   simInstr   simulated 1993-MIPS instructions per operation (the paper's
+//              cost metric, from the CostModel), and
+//   simRefs    simulated memory references per operation.
+//
+// Host wall-clock time measures this library's simulation throughput, not
+// 1993 hardware.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Allocator.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace allocsim;
+
+namespace {
+
+AllocatorKind kindForIndex(int64_t Index) {
+  return PaperAllocators[static_cast<size_t>(Index)];
+}
+
+/// Steady-state malloc/free pair of one hot size.
+void BM_MallocFreePair(benchmark::State &State) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  std::unique_ptr<Allocator> Alloc =
+      createAllocator(kindForIndex(State.range(0)), Heap, Cost);
+  auto Size = static_cast<uint32_t>(State.range(1));
+
+  // Warm the allocator's structures.
+  Alloc->free(Alloc->malloc(Size));
+
+  for (auto _ : State) {
+    Addr Ptr = Alloc->malloc(Size);
+    benchmark::DoNotOptimize(Ptr);
+    Alloc->free(Ptr);
+  }
+
+  double Ops = 2.0 * static_cast<double>(State.iterations());
+  State.counters["simInstr"] =
+      benchmark::Counter(static_cast<double>(Cost.allocInstructions()) / Ops);
+  State.counters["simRefs"] =
+      benchmark::Counter(static_cast<double>(Bus.totalAccesses()) / Ops);
+  State.SetLabel(Alloc->name());
+}
+
+/// Churn of a mixed working set: allocate a batch of varied sizes, free
+/// half (LIFO), allocate again, free everything.
+void BM_MixedChurn(benchmark::State &State) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  std::unique_ptr<Allocator> Alloc =
+      createAllocator(kindForIndex(State.range(0)), Heap, Cost);
+
+  const uint32_t Sizes[] = {8, 24, 24, 32, 48, 24, 16, 96, 24, 256};
+  std::vector<Addr> Ptrs;
+  Ptrs.reserve(64);
+  uint64_t Ops = 0;
+
+  for (auto _ : State) {
+    for (int Round = 0; Round < 3; ++Round) {
+      for (uint32_t Size : Sizes)
+        Ptrs.push_back(Alloc->malloc(Size));
+      while (Ptrs.size() > 15) {
+        Alloc->free(Ptrs.back());
+        Ptrs.pop_back();
+      }
+    }
+    while (!Ptrs.empty()) {
+      Alloc->free(Ptrs.back());
+      Ptrs.pop_back();
+    }
+    Ops += 2 * 30;
+  }
+
+  State.counters["simInstr"] = benchmark::Counter(
+      static_cast<double>(Cost.allocInstructions()) / double(Ops));
+  State.counters["simRefs"] =
+      benchmark::Counter(static_cast<double>(Bus.totalAccesses()) /
+                         double(Ops));
+  State.SetLabel(Alloc->name());
+}
+
+void pairArgs(benchmark::internal::Benchmark *Bench) {
+  for (int64_t AllocIdx = 0; AllocIdx != 5; ++AllocIdx)
+    for (int64_t Size : {24, 256, 8192})
+      Bench->Args({AllocIdx, Size});
+}
+
+BENCHMARK(BM_MallocFreePair)->Apply(pairArgs);
+BENCHMARK(BM_MixedChurn)->DenseRange(0, 4, 1);
+
+} // namespace
+
+BENCHMARK_MAIN();

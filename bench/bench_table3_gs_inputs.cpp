@@ -1,0 +1,47 @@
+//===- bench/bench_table3_gs_inputs.cpp - Paper Table 3 -------------------===//
+//
+// Regenerates Table 3 ("Characteristics of Different Input Sets for
+// GhostScript"): GS-Small / GS-Medium / GS-Large under the FIRSTFIT
+// baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  std::optional<BenchOptions> Options = parseBenchOptions(Argc, Argv, Cli);
+  if (!Options)
+    return 1;
+  printBanner("Table 3: GhostScript input sets (FirstFit baseline)",
+              *Options);
+
+  Table Out({"input", "instr(M)", "paper", "refs(M)", "paper", "heap KB",
+             "paper", "alloc'd(K)", "paper", "freed(K)", "paper"});
+  for (WorkloadId Workload :
+       {WorkloadId::GsSmall, WorkloadId::GsMedium, WorkloadId::Gs}) {
+    const AppProfile &Profile = getProfile(Workload);
+    ExperimentConfig Config = baseConfig(Workload, *Options);
+    Config.Allocator = AllocatorKind::FirstFit;
+    RunResult Result = runExperiment(Config);
+    WorkloadEngine Engine(Profile, Config.Engine);
+    double Scale = Engine.effectiveScale();
+
+    Out.beginRow();
+    Out.cell(Profile.Name);
+    Out.num(double(Result.totalInstructions()) * Scale / 1e6, 0);
+    Out.num(Profile.PaperInstrMillions, 0);
+    Out.num(double(Result.TotalRefs) * Scale / 1e6, 0);
+    Out.num(Profile.PaperDataRefsMillions, 0);
+    Out.num(uint64_t(Result.HeapBytes / 1024));
+    Out.num(uint64_t(Profile.PaperMaxHeapKb));
+    Out.num(double(Result.Alloc.MallocCalls) * Scale / 1e3, 0);
+    Out.num(Profile.PaperObjectsAllocated / 1e3, 0);
+    Out.num(double(Result.Alloc.FreeCalls) * Scale / 1e3, 0);
+    Out.num(Profile.PaperObjectsFreed / 1e3, 0);
+  }
+  renderTable(Out, *Options);
+  return 0;
+}

@@ -1,0 +1,24 @@
+//===- bench/bench_table4_time_16k.cpp - Paper Table 4 --------------------===//
+//
+// Regenerates Table 4: total estimated execution time and time waiting for
+// cache misses with a 16-kilobyte direct-mapped cache, in all five
+// allocation-intensive programs, next to the paper's published seconds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "PaperData.h"
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  std::optional<BenchOptions> Options = parseBenchOptions(Argc, Argv, Cli);
+  if (!Options)
+    return 1;
+  printBanner("Table 4: estimated execution seconds, 16K direct-mapped "
+              "cache ('?' = illegible in the scanned paper)",
+              *Options);
+  emitTimeTable(16, PaperTable4, *Options);
+  return 0;
+}

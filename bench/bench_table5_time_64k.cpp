@@ -1,0 +1,23 @@
+//===- bench/bench_table5_time_64k.cpp - Paper Table 5 --------------------===//
+//
+// Regenerates Table 5: total estimated execution time and time waiting for
+// cache misses with a 64-kilobyte direct-mapped cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "PaperData.h"
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  std::optional<BenchOptions> Options = parseBenchOptions(Argc, Argv, Cli);
+  if (!Options)
+    return 1;
+  printBanner("Table 5: estimated execution seconds, 64K direct-mapped "
+              "cache ('?' = illegible in the scanned paper)",
+              *Options);
+  emitTimeTable(64, PaperTable5, *Options);
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- bench/bench_table6_boundary_tags.cpp - Paper Table 6 ---------------===//
+//
+// Regenerates Table 6: the effect of boundary tags on execution time in the
+// GNU LOCAL allocator with a 64-kilobyte direct-mapped cache. GNU LOCAL has
+// no per-object tags; the tagged variant pads every object by 8 bytes and
+// touches the tag words, "emulating the effect of cache pollution by the
+// boundary tags without otherwise influencing the DSA implementation".
+//
+// Paper result: tags raise the miss rate slightly and cost 0.1%-1.1% of
+// total execution time — real but minor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  std::optional<BenchOptions> Options = parseBenchOptions(Argc, Argv, Cli);
+  if (!Options)
+    return 1;
+  printBanner("Table 6: boundary-tag cache pollution in GNU LOCAL, 64K "
+              "direct-mapped cache",
+              *Options);
+
+  // Paper's Table 6 reference rows (miss rate %, miss penalty % of time).
+  const double PaperTaggedMiss[5] = {0.880, 0.580, 0.600, 0.250, 0.240};
+  const double PaperTaggedPenalty[5] = {5.27, 4.51, 4.91, 1.99, 1.78};
+  const double PaperPlainMiss[5] = {0.680, 0.560, 0.500, 0.210, 0.200};
+  const double PaperPlainPenalty[5] = {4.14, 4.37, 4.53, 1.68, 1.49};
+
+  Table Out({"metric", "espresso", "gs", "ptc", "gawk", "make"});
+  std::vector<RunResult> Tagged, Plain;
+  for (WorkloadId Workload : PaperWorkloads) {
+    ExperimentConfig Config = baseConfig(Workload, *Options);
+    Config.Allocator = AllocatorKind::GnuLocal;
+    Config.Caches = {CacheConfig{64 * 1024, 32, 1}};
+    Config.EmulateBoundaryTags = true;
+    Tagged.push_back(runExperiment(Config));
+    Config.EmulateBoundaryTags = false;
+    Plain.push_back(runExperiment(Config));
+  }
+
+  auto MissPct = [](const RunResult &Run) {
+    return 100.0 * Run.Caches[0].Stats.missRate();
+  };
+  auto PenaltyPct = [](const RunResult &Run) {
+    return 100.0 * Run.Caches[0].Time.missCycles() /
+           Run.Caches[0].Time.totalCycles();
+  };
+
+  auto EmitRow = [&](const std::string &Label, auto Value) {
+    Out.beginRow();
+    Out.cell(Label);
+    for (size_t I = 0; I != 5; ++I)
+      Out.num(Value(I), 3);
+  };
+
+  EmitRow("tags: miss rate %", [&](size_t I) { return MissPct(Tagged[I]); });
+  EmitRow("tags: miss rate % (paper)",
+          [&](size_t I) { return PaperTaggedMiss[I]; });
+  EmitRow("tags: miss penalty % of time",
+          [&](size_t I) { return PenaltyPct(Tagged[I]); });
+  EmitRow("tags: penalty % (paper)",
+          [&](size_t I) { return PaperTaggedPenalty[I]; });
+  EmitRow("no tags: miss rate %",
+          [&](size_t I) { return MissPct(Plain[I]); });
+  EmitRow("no tags: miss rate % (paper)",
+          [&](size_t I) { return PaperPlainMiss[I]; });
+  EmitRow("no tags: miss penalty % of time",
+          [&](size_t I) { return PenaltyPct(Plain[I]); });
+  EmitRow("no tags: penalty % (paper)",
+          [&](size_t I) { return PaperPlainPenalty[I]; });
+  EmitRow("tag cost (% of exec time)", [&](size_t I) {
+    double TaggedCycles = Tagged[I].Caches[0].Time.totalCycles();
+    double PlainCycles = Plain[I].Caches[0].Time.totalCycles();
+    return 100.0 * (TaggedCycles - PlainCycles) / PlainCycles;
+  });
+  EmitRow("tag cost % (paper)", [&](size_t I) {
+    const double PaperCost[5] = {1.13, 0.14, 0.78, 0.31, 0.29};
+    return PaperCost[I];
+  });
+  renderTable(Out, *Options);
+
+  std::cout << "Note: the paper's absolute miss rates are lower because "
+               "its trace volume per\nlive-heap byte is ~8x ours at the "
+               "default scale; the tag *delta* is the\ncomparable "
+               "quantity.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- examples/allocator_anatomy.cpp - Where do the misses come from? ----===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+// The paper stresses that allocator-induced cache misses are "spread over
+// all program sections that reference heap allocated objects, belying the
+// true influence of the DSA algorithm". This example de-mystifies them:
+// for one workload and cache it splits references and misses by source
+// (application vs. allocator bookkeeping), and prints the reference-stream
+// volume and heap telemetry per allocator.
+//
+// Usage: allocator_anatomy [--workload gs] [--scale 8] [--cache-kb 16]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Lab.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  Cli.addFlag("workload", "gs", "application profile to run");
+  Cli.addFlag("scale", "8", "divide paper allocation counts by this");
+  Cli.addFlag("cache-kb", "16", "direct-mapped cache size in KB");
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  ExperimentConfig Config;
+  Config.Workload = parseWorkload(Cli.getString("workload"));
+  Config.Engine.Scale = static_cast<uint32_t>(Cli.getInt("scale"));
+  Config.Caches = {CacheConfig{
+      static_cast<uint32_t>(Cli.getInt("cache-kb")) * 1024, 32, 1}};
+
+  std::cout << "workload: " << workloadName(Config.Workload) << ", cache: "
+            << Config.Caches[0].describe() << "\n\n";
+
+  Table Out({"allocator", "refs(M)", "alloc refs %", "app miss %",
+             "alloc miss %", "overall miss %", "heap KB", "scan/op"});
+  for (AllocatorKind Kind : PaperAllocators) {
+    Config.Allocator = Kind;
+    RunResult Result = runExperiment(Config);
+    const CacheStats &Stats = Result.Caches[0].Stats;
+
+    auto SourceMissPct = [&](AccessSource Source) {
+      uint64_t Accesses = Stats.accessesFrom(Source);
+      return Accesses == 0 ? 0.0
+                           : 100.0 * static_cast<double>(
+                                         Stats.missesFrom(Source)) /
+                                 static_cast<double>(Accesses);
+    };
+
+    Out.beginRow();
+    Out.cell(allocatorKindName(Kind));
+    Out.num(static_cast<double>(Result.TotalRefs) / 1e6, 1);
+    Out.num(100.0 * static_cast<double>(Result.AllocRefs) /
+                static_cast<double>(Result.TotalRefs),
+            1);
+    Out.num(SourceMissPct(AccessSource::Application), 2);
+    Out.num(SourceMissPct(AccessSource::Allocator), 2);
+    Out.num(100.0 * Stats.missRate(), 2);
+    Out.num(static_cast<uint64_t>(Result.HeapBytes / 1024));
+    Out.num(static_cast<double>(Result.BlocksSearched) /
+            static_cast<double>(Result.Alloc.MallocCalls), 1);
+  }
+  Out.renderText(std::cout);
+
+  std::cout << "\nAllocator bookkeeping references are a small share of the "
+               "stream, but a\nsequential-fit allocator raises the miss rate "
+               "of the *application's* own\nreferences as well, by scattering "
+               "its objects — the paper's key insight.\n";
+  return 0;
+}

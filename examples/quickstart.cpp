@@ -1,0 +1,57 @@
+//===- examples/quickstart.cpp - First steps with allocsim ----------------===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+// Runs one application workload (GhostScript by default) against all five
+// of the paper's allocators with a 64K direct-mapped cache and prints the
+// headline comparison: instructions spent in malloc/free, data-cache miss
+// rate, heap size, and the paper's estimated execution time.
+//
+// Usage: quickstart [--workload gs] [--scale 64] [--cache-kb 64]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Lab.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  Cli.addFlag("workload", "gs", "application profile to run");
+  Cli.addFlag("scale", "64", "divide paper allocation counts by this");
+  Cli.addFlag("cache-kb", "64", "direct-mapped cache size in KB");
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  ExperimentConfig Config;
+  Config.Workload = parseWorkload(Cli.getString("workload"));
+  Config.Engine.Scale = static_cast<uint32_t>(Cli.getInt("scale"));
+  Config.Caches = {CacheConfig{
+      static_cast<uint32_t>(Cli.getInt("cache-kb")) * 1024, 32, 1}};
+
+  std::cout << "workload: " << workloadName(Config.Workload)
+            << "  (1/" << Config.Engine.Scale << " of paper scale)\n\n";
+
+  Table Out({"allocator", "malloc+free %", "miss rate %", "heap KB",
+             "est. seconds"});
+  for (AllocatorKind Kind : PaperAllocators) {
+    Config.Allocator = Kind;
+    RunResult Result = runExperiment(Config);
+    Out.beginRow();
+    Out.cell(allocatorKindName(Kind));
+    Out.num(100.0 * Result.allocInstrFraction(), 1);
+    Out.num(100.0 * Result.Caches[0].Stats.missRate(), 2);
+    Out.num(static_cast<uint64_t>(Result.HeapBytes / 1024));
+    Out.num(Result.estimatedSeconds(0), 2);
+  }
+  Out.renderText(std::cout);
+
+  std::cout << "\n(The shape to look for: FirstFit worst on misses, BSD and "
+               "QuickFit\n fastest overall, GnuLocal low-miss but "
+               "instruction-heavy.)\n";
+  return 0;
+}

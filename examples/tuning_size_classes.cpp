@@ -1,0 +1,74 @@
+//===- examples/tuning_size_classes.cpp - CustoMalloc-style tuning --------===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+// Walks through the allocator-synthesis flow the paper's conclusions
+// advocate (their CustoMalloc work):
+//
+//   1. profile a program's allocation-request sizes,
+//   2. synthesize size classes from the profile (exact classes for the hot
+//      sizes, bounded-fragmentation filler elsewhere, all behind the
+//      Figure 9 mapping array),
+//   3. run the synthesized allocator and compare it with the five stock
+//      allocators on the same program.
+//
+// Usage: tuning_size_classes [--workload gawk] [--scale 8] [--classes 12]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Lab.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace allocsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  Cli.addFlag("workload", "gawk", "application profile to tune for");
+  Cli.addFlag("scale", "8", "divide paper allocation counts by this");
+  Cli.addFlag("classes", "12", "exact size classes to synthesize");
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  WorkloadId Workload = parseWorkload(Cli.getString("workload"));
+  ExperimentConfig Config;
+  Config.Workload = Workload;
+  Config.Engine.Scale = static_cast<uint32_t>(Cli.getInt("scale"));
+  Config.CustomExactClasses = static_cast<size_t>(Cli.getInt("classes"));
+  Config.Caches = {CacheConfig{64 * 1024, 32, 1}};
+
+  // Step 1-2: show what the synthesis pass discovers.
+  WorkloadEngine Engine(getProfile(Workload), Config.Engine);
+  Histogram Profile = Engine.sizeProfile();
+  std::cout << "profiled " << Profile.total() << " requests, "
+            << Profile.distinct() << " distinct sizes; hottest:";
+  for (uint64_t Size : Profile.topKeys(Config.CustomExactClasses))
+    std::cout << " " << Size;
+  std::cout << "\n(the paper: \"most allocation requests were for one of a "
+               "few different object sizes\")\n\n";
+
+  // Step 3: synthesized allocator vs the stock five.
+  Table Out({"allocator", "malloc+free %", "miss rate %", "heap KB",
+             "est. seconds"});
+  auto EmitRow = [&](AllocatorKind Kind) {
+    Config.Allocator = Kind;
+    RunResult Result = runExperiment(Config);
+    Out.beginRow();
+    Out.cell(allocatorKindName(Kind));
+    Out.num(100.0 * Result.allocInstrFraction(), 1);
+    Out.num(100.0 * Result.Caches[0].Stats.missRate(), 2);
+    Out.num(uint64_t(Result.HeapBytes / 1024));
+    Out.num(Result.estimatedSeconds(0), 2);
+  };
+  for (AllocatorKind Kind : PaperAllocators)
+    EmitRow(Kind);
+  EmitRow(AllocatorKind::Custom);
+  Out.renderText(std::cout);
+
+  std::cout << "\nThe synthesized allocator pairs BSD-class speed with "
+               "QuickFit-class space:\nexact classes give rapid re-use "
+               "without power-of-two waste.\n";
+  return 0;
+}

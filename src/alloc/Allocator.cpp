@@ -1,0 +1,120 @@
+//===- alloc/Allocator.cpp - Dynamic storage allocator interface ----------===//
+
+#include "alloc/Allocator.h"
+
+#include "alloc/BestFit.h"
+#include "alloc/Bsd.h"
+#include "alloc/FirstFit.h"
+#include "alloc/GnuGxx.h"
+#include "alloc/GnuLocal.h"
+#include "alloc/QuickFit.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace allocsim;
+
+Allocator::Allocator(SimHeap &AllocHeap, CostModel &AllocCost)
+    : Heap(AllocHeap), Cost(AllocCost) {}
+
+Allocator::~Allocator() = default;
+
+const char *allocsim::allocatorKindName(AllocatorKind Kind) {
+  switch (Kind) {
+  case AllocatorKind::FirstFit:
+    return "FirstFit";
+  case AllocatorKind::GnuGxx:
+    return "GnuG++";
+  case AllocatorKind::Bsd:
+    return "BSD";
+  case AllocatorKind::GnuLocal:
+    return "GnuLocal";
+  case AllocatorKind::QuickFit:
+    return "QuickFit";
+  case AllocatorKind::Custom:
+    return "Custom";
+  case AllocatorKind::BestFit:
+    return "BestFit";
+  }
+  unreachable("unknown allocator kind");
+}
+
+AllocatorKind allocsim::parseAllocatorKind(const std::string &Name) {
+  std::string Lower = Name;
+  std::transform(Lower.begin(), Lower.end(), Lower.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  if (Lower == "firstfit" || Lower == "first-fit")
+    return AllocatorKind::FirstFit;
+  if (Lower == "gnug++" || Lower == "gnugxx" || Lower == "g++")
+    return AllocatorKind::GnuGxx;
+  if (Lower == "bsd")
+    return AllocatorKind::Bsd;
+  if (Lower == "gnulocal" || Lower == "gnu-local")
+    return AllocatorKind::GnuLocal;
+  if (Lower == "quickfit" || Lower == "quick-fit")
+    return AllocatorKind::QuickFit;
+  if (Lower == "custom")
+    return AllocatorKind::Custom;
+  if (Lower == "bestfit" || Lower == "best-fit")
+    return AllocatorKind::BestFit;
+  reportFatalError("unknown allocator name '" + Name + "'");
+}
+
+Addr Allocator::malloc(uint32_t Size) {
+  assert(Size > 0 && "malloc of zero bytes");
+  ++Stats.MallocCalls;
+  Stats.BytesRequested += Size;
+
+  Addr Ptr = doMalloc(Size);
+
+  assert((Ptr & 3) == 0 && "allocator returned misaligned object");
+  assert(Heap.contains(Ptr, Size) && "allocator returned bad region");
+  [[maybe_unused]] bool Inserted = LiveObjects.emplace(Ptr, Size).second;
+  assert(Inserted && "allocator returned an address twice");
+
+  Stats.LiveBytes += Size;
+  Stats.MaxLiveBytes = std::max(Stats.MaxLiveBytes, Stats.LiveBytes);
+  return Ptr;
+}
+
+void Allocator::free(Addr Ptr) {
+  auto It = LiveObjects.find(Ptr);
+  if (It == LiveObjects.end())
+    reportFatalError("free of unknown or already-freed address");
+  Stats.LiveBytes -= It->second;
+  LiveObjects.erase(It);
+  ++Stats.FreeCalls;
+
+  doFree(Ptr);
+}
+
+uint32_t Allocator::objectSize(Addr Ptr) const {
+  auto It = LiveObjects.find(Ptr);
+  if (It == LiveObjects.end())
+    reportFatalError("objectSize of unknown address");
+  return It->second;
+}
+
+std::unique_ptr<Allocator>
+allocsim::createAllocator(AllocatorKind Kind, SimHeap &Heap, CostModel &Cost) {
+  switch (Kind) {
+  case AllocatorKind::FirstFit:
+    return std::make_unique<FirstFit>(Heap, Cost);
+  case AllocatorKind::GnuGxx:
+    return std::make_unique<GnuGxx>(Heap, Cost);
+  case AllocatorKind::Bsd:
+    return std::make_unique<Bsd>(Heap, Cost);
+  case AllocatorKind::GnuLocal:
+    return std::make_unique<GnuLocal>(Heap, Cost);
+  case AllocatorKind::QuickFit:
+    return std::make_unique<QuickFit>(Heap, Cost);
+  case AllocatorKind::Custom:
+    reportFatalError(
+        "Custom allocator needs a size profile; construct CustomAlloc "
+        "directly");
+  case AllocatorKind::BestFit:
+    return std::make_unique<BestFit>(Heap, Cost);
+  }
+  unreachable("unknown allocator kind");
+}

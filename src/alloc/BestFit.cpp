@@ -1,0 +1,40 @@
+//===- alloc/BestFit.cpp - Best-fit sequential allocator ------------------===//
+
+#include "alloc/BestFit.h"
+
+using namespace allocsim;
+
+BestFit::BestFit(SimHeap &AllocHeap, CostModel &AllocCost)
+    : CoalescingAllocator(AllocHeap, AllocCost) {
+  Sentinel = makeSentinel();
+}
+
+std::pair<Addr, uint32_t> BestFit::findFit(uint32_t Need) {
+  // Exhaustive scan for the smallest sufficient block. An exact fit ends
+  // the search early (nothing can beat it).
+  Addr Best = 0;
+  uint32_t BestSize = 0;
+  for (Addr Node = load(Sentinel + 4); Node != Sentinel;
+       Node = load(Node + 4)) {
+    ++BlocksExamined;
+    charge(3); // compare against request and current best.
+    uint32_t Tag = readHeader(Node);
+    assert(!tagAllocated(Tag) && "allocated block on freelist");
+    uint32_t Size = tagSize(Tag);
+    if (Size < Need)
+      continue;
+    if (Best == 0 || Size < BestSize) {
+      Best = Node;
+      BestSize = Size;
+      if (Size == Need)
+        break;
+    }
+  }
+  return {Best, BestSize};
+}
+
+void BestFit::insertFree(Addr Block, uint32_t Size) {
+  (void)Size;
+  // LIFO at the list head; search order is irrelevant for best fit.
+  linkAfter(Sentinel, Block);
+}

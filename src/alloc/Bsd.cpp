@@ -1,0 +1,82 @@
+//===- alloc/Bsd.cpp - Kingsley 4.2BSD power-of-two allocator -------------===//
+
+#include "alloc/Bsd.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace allocsim;
+
+namespace {
+
+/// Allocated-block header: bucket index plus a magic marker.
+constexpr uint32_t InUseMagic = 0xEF00;
+
+uint32_t makeHeader(unsigned Bucket) {
+  return InUseMagic | static_cast<uint32_t>(Bucket);
+}
+
+} // namespace
+
+Bsd::Bsd(SimHeap &AllocHeap, CostModel &AllocCost)
+    : Allocator(AllocHeap, AllocCost) {
+  // nextf[NumBuckets]: one head word per bucket, zero-initialized by sbrk.
+  NextF = Heap.sbrk(4 * NumBuckets);
+}
+
+unsigned Bsd::bucketFor(uint32_t Size) {
+  uint32_t Need = Size + 4; // one-word header
+  unsigned Bucket = 0;
+  while (bucketBytes(Bucket) < Need) {
+    ++Bucket;
+    if (Bucket >= NumBuckets)
+      reportFatalError("BSD allocation request too large");
+  }
+  return Bucket;
+}
+
+Addr Bsd::doMalloc(uint32_t Size) {
+  charge(10); // call overhead + bucket computation.
+  unsigned Bucket = bucketFor(Size);
+
+  Addr Head = load(freelistSlot(Bucket));
+  if (Head == 0) {
+    moreCore(Bucket);
+    Head = load(freelistSlot(Bucket));
+    assert(Head != 0 && "morecore produced no blocks");
+  }
+  // Pop: the free block's first word is its next link.
+  Addr Next = load(Head);
+  store(freelistSlot(Bucket), Next);
+  store(Head, makeHeader(Bucket));
+  return Head + 4;
+}
+
+void Bsd::moreCore(unsigned Bucket) {
+  uint32_t BlockBytes = bucketBytes(Bucket);
+  uint32_t Amount = BlockBytes < 4096 ? 4096 : BlockBytes;
+  charge(24); // sbrk overhead.
+  Addr Region = Heap.sbrk(Amount);
+
+  // Chain every carved block onto the (empty) freelist.
+  uint32_t Count = Amount / BlockBytes;
+  for (uint32_t I = 0; I + 1 < Count; ++I)
+    store(Region + I * BlockBytes, Region + (I + 1) * BlockBytes);
+  store(Region + (Count - 1) * BlockBytes, 0);
+  store(freelistSlot(Bucket), Region);
+}
+
+void Bsd::doFree(Addr Ptr) {
+  charge(8);
+  Addr Block = Ptr - 4;
+  uint32_t Header = load(Block);
+  assert((Header & 0xFF00) == InUseMagic && "freeing corrupt BSD block");
+  unsigned Bucket = Header & 0xFF;
+  assert(Bucket < NumBuckets && "corrupt BSD bucket index");
+
+  // LIFO push.
+  Addr Head = load(freelistSlot(Bucket));
+  store(Block, Head);
+  store(freelistSlot(Bucket), Block);
+}

@@ -1,0 +1,64 @@
+//===- alloc/Bsd.h - Kingsley 4.2BSD power-of-two allocator -----*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's BSD allocator: Chris Kingsley's "very fast storage
+/// allocator" distributed with 4.2BSD Unix. Requests are rounded up to a
+/// power of two (including a one-word header), one LIFO freelist is kept
+/// per size class, and no attempt is ever made to split or coalesce. The
+/// result is the paper's speed/space trade-off exemplar: allocation is a
+/// handful of instructions with excellent object re-use (hence locality),
+/// but internal fragmentation can approach 2x ("much of the allocated space
+/// may be wasted").
+///
+/// Block layout: a one-word header holding the bucket index when allocated;
+/// when free, the same word holds the next-free link.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ALLOC_BSD_H
+#define ALLOCSIM_ALLOC_BSD_H
+
+#include "alloc/Allocator.h"
+
+namespace allocsim {
+
+/// Kingsley power-of-two segregated storage.
+class Bsd final : public Allocator {
+public:
+  Bsd(SimHeap &Heap, CostModel &Cost);
+
+  AllocatorKind kind() const override { return AllocatorKind::Bsd; }
+
+  /// Bucket B holds blocks of 2^(B+4) bytes: 16 bytes up to 128 MB.
+  static constexpr unsigned NumBuckets = 24;
+  static constexpr uint32_t MinBlockBytes = 16;
+
+  /// Block bytes for bucket \p Bucket.
+  static uint32_t bucketBytes(unsigned Bucket) {
+    return MinBlockBytes << Bucket;
+  }
+
+  /// Smallest bucket whose block holds \p Size user bytes plus the header.
+  static unsigned bucketFor(uint32_t Size);
+
+private:
+  Addr doMalloc(uint32_t Size) override;
+  void doFree(Addr Ptr) override;
+
+  /// Refills bucket \p Bucket from sbrk, carving a page (or one block, if
+  /// larger) into a freelist chain, exactly as Kingsley's morecore does.
+  void moreCore(unsigned Bucket);
+
+  Addr freelistSlot(unsigned Bucket) const { return NextF + 4 * Bucket; }
+
+  /// Address of the nextf[] bucket-head array (in the static area).
+  Addr NextF;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ALLOC_BSD_H

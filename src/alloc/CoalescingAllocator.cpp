@@ -1,0 +1,143 @@
+//===- alloc/CoalescingAllocator.cpp - Boundary-tag machinery -------------===//
+
+#include "alloc/CoalescingAllocator.h"
+
+#include <cassert>
+
+using namespace allocsim;
+
+namespace {
+
+/// sbrk granularity for heap expansion.
+constexpr uint32_t ExpandChunkBytes = 4096;
+
+/// Value of a guard word: size 0, allocated.
+constexpr uint32_t GuardTag = 1;
+
+} // namespace
+
+CoalescingAllocator::CoalescingAllocator(SimHeap &AllocHeap,
+                                         CostModel &AllocCost)
+    : Allocator(AllocHeap, AllocCost) {}
+
+void CoalescingAllocator::onUnlinked(Addr Block, Addr Next) {
+  (void)Block;
+  (void)Next;
+}
+
+Addr CoalescingAllocator::makeSentinel() {
+  Addr Node = Heap.sbrk(12);
+  // Empty circular list: the sentinel points at itself. Untraced: this is
+  // load-time initialization, not program execution.
+  Heap.poke32(Node + 4, Node);
+  Heap.poke32(Node + 8, Node);
+  return Node;
+}
+
+Addr CoalescingAllocator::unlinkBlock(Addr Block) {
+  Addr Next = load(Block + 4);
+  Addr Prev = load(Block + 8);
+  store(Prev + 4, Next);
+  store(Next + 8, Prev);
+  onUnlinked(Block, Next);
+  return Next;
+}
+
+void CoalescingAllocator::linkAfter(Addr Node, Addr Block) {
+  Addr Next = load(Node + 4);
+  store(Block + 4, Next);
+  store(Block + 8, Node);
+  store(Node + 4, Block);
+  store(Next + 8, Block);
+}
+
+void CoalescingAllocator::writeTags(Addr Block, uint32_t Size,
+                                    bool Allocated) {
+  assert(Size >= MinBlockBytes && (Size & 3) == 0 && "malformed block size");
+  uint32_t Tag = Size | (Allocated ? 1u : 0u);
+  store(Block, Tag);
+  store(Block + Size - 4, Tag);
+}
+
+Addr CoalescingAllocator::doMalloc(uint32_t Size) {
+  charge(callOverhead());
+  uint32_t Need = blockBytesFor(Size);
+
+  auto [Block, BlockSize] = findFit(Need);
+  if (Block == 0) {
+    expandHeap(Need);
+    std::tie(Block, BlockSize) = findFit(Need);
+    assert(Block != 0 && "expansion did not produce a fitting block");
+  }
+  return allocateFrom(Block, BlockSize, Need);
+}
+
+Addr CoalescingAllocator::allocateFrom(Addr Block, uint32_t BlockSize,
+                                       uint32_t Need) {
+  assert(BlockSize >= Need && "fit is too small");
+  unlinkBlock(Block);
+
+  if (BlockSize - Need >= minSplitBytes()) {
+    // Split: the tail becomes a new free block.
+    Addr Remainder = Block + Need;
+    uint32_t RemainderSize = BlockSize - Need;
+    writeTags(Remainder, RemainderSize, /*Allocated=*/false);
+    insertFree(Remainder, RemainderSize);
+    charge(4);
+  } else {
+    Need = BlockSize;
+  }
+  writeTags(Block, Need, /*Allocated=*/true);
+  return Block + 4;
+}
+
+void CoalescingAllocator::doFree(Addr Ptr) {
+  charge(callOverhead());
+  Addr Block = Ptr - 4;
+  uint32_t Tag = readHeader(Block);
+  assert(tagAllocated(Tag) && "freeing a non-allocated block");
+  uint32_t Size = tagSize(Tag);
+
+  // Coalesce with the following block if it is free. Fencepost guards
+  // (allocated, size 0) stop this at region ends.
+  uint32_t NextTag = load(Block + Size);
+  if (!tagAllocated(NextTag)) {
+    Addr NextBlock = Block + Size;
+    unlinkBlock(NextBlock);
+    Size += tagSize(NextTag);
+    charge(2);
+  }
+
+  // Coalesce with the preceding block if it is free.
+  uint32_t PrevFooter = readFooterBefore(Block);
+  if (!tagAllocated(PrevFooter)) {
+    uint32_t PrevSize = tagSize(PrevFooter);
+    assert(PrevSize >= MinBlockBytes && "corrupt predecessor footer");
+    Addr PrevBlock = Block - PrevSize;
+    unlinkBlock(PrevBlock);
+    Block = PrevBlock;
+    Size += PrevSize;
+    charge(2);
+  }
+
+  writeTags(Block, Size, /*Allocated=*/false);
+  insertFree(Block, Size);
+}
+
+void CoalescingAllocator::expandHeap(uint32_t Need) {
+  // Guard words cost 8 bytes per region.
+  uint32_t Chunk = Need + 8;
+  Chunk = (Chunk + ExpandChunkBytes - 1) & ~(ExpandChunkBytes - 1);
+  charge(24); // sbrk call overhead.
+  Addr Region = Heap.sbrk(Chunk);
+
+  // Start guard acts as an allocated footer for the first block; end guard
+  // as an allocated header after the last block.
+  store(Region, GuardTag);
+  store(Region + Chunk - 4, GuardTag);
+
+  Addr Block = Region + 4;
+  uint32_t Size = Chunk - 8;
+  writeTags(Block, Size, /*Allocated=*/false);
+  insertFree(Block, Size);
+}

@@ -1,0 +1,112 @@
+//===- alloc/CoalescingAllocator.h - Boundary-tag machinery -----*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the two sequential-fit allocators the paper studies
+/// (FirstFit and GNU G++). Both use Knuth-style boundary tags — a size word
+/// at each end of every block — so a freed block can be coalesced with
+/// adjacent free storage in constant time, and both keep free blocks on
+/// doubly-linked lists threaded through the blocks themselves. They differ
+/// only in how the free list is organized (one roving list vs. an array of
+/// size-segregated bins), which subclasses express through findFit /
+/// insertFree.
+///
+/// Block format (sizes are total block bytes, multiples of 4, minimum 16):
+///
+///        +0        header word:  Size | 1 if allocated, Size if free
+///        +4        user data ...              (free block: next-free link)
+///        +8        ...                        (free block: prev-free link)
+///        +Size-4   footer word:  same encoding as header
+///
+/// The user pointer is Block+4 and the usable size is Size-8, so the
+/// per-object overhead is the 8 bytes of boundary tags the paper's Table 6
+/// discusses. Each sbrk region is fenced with allocated guard words so
+/// coalescing never walks off a region's end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ALLOC_COALESCINGALLOCATOR_H
+#define ALLOCSIM_ALLOC_COALESCINGALLOCATOR_H
+
+#include "alloc/Allocator.h"
+
+namespace allocsim {
+
+/// Base for boundary-tag allocators with block splitting and coalescing.
+class CoalescingAllocator : public Allocator {
+public:
+  /// Smallest legal block: header + two links + footer.
+  static constexpr uint32_t MinBlockBytes = 16;
+
+protected:
+  CoalescingAllocator(SimHeap &Heap, CostModel &Cost);
+
+  Addr doMalloc(uint32_t Size) final;
+  void doFree(Addr Ptr) final;
+
+  /// Finds a free block with size >= Need. Returns {block, blockSize} or
+  /// {0, 0} if no fit exists.
+  virtual std::pair<Addr, uint32_t> findFit(uint32_t Need) = 0;
+
+  /// Links a free block (tags already written) into the free structure.
+  virtual void insertFree(Addr Block, uint32_t Size) = 0;
+
+  /// Notification that \p Block was just unlinked; \p Next is the list
+  /// successor it had. FirstFit uses this to keep its rover valid.
+  virtual void onUnlinked(Addr Block, Addr Next);
+
+  /// Per-call instruction overhead beyond traced references; subclasses
+  /// provide their calibrated constant.
+  virtual uint64_t callOverhead() const = 0;
+
+  /// Blocks are not split if the remainder would be smaller than this.
+  /// FirstFit uses the paper-documented 24 bytes; GNU G++ uses a larger
+  /// threshold so its segregated bins do not silt up with splinter blocks
+  /// no surviving request class can consume.
+  virtual uint32_t minSplitBytes() const = 0;
+
+  /// --- list primitives (freelist links live in the blocks) -------------
+
+  /// Unlinks \p Block from its doubly-linked list and returns its old
+  /// successor. Calls onUnlinked.
+  Addr unlinkBlock(Addr Block);
+
+  /// Inserts \p Block immediately after list node \p Node (a block or a
+  /// sentinel).
+  void linkAfter(Addr Node, Addr Block);
+
+  /// Creates an empty circular sentinel node in the static area and
+  /// returns its address. Must be called during construction only.
+  Addr makeSentinel();
+
+  /// --- boundary-tag primitives ------------------------------------------
+
+  uint32_t readHeader(Addr Block) { return load(Block); }
+  uint32_t readFooterBefore(Addr Block) { return load(Block - 4); }
+  void writeTags(Addr Block, uint32_t Size, bool Allocated);
+
+  static uint32_t tagSize(uint32_t Tag) { return Tag & ~3u; }
+  static bool tagAllocated(uint32_t Tag) { return (Tag & 1) != 0; }
+
+  /// Total block bytes needed to satisfy a request of \p Size user bytes.
+  static uint32_t blockBytesFor(uint32_t Size) {
+    uint32_t Need = ((Size + 3) & ~3u) + 8;
+    return Need < MinBlockBytes ? MinBlockBytes : Need;
+  }
+
+private:
+  /// Carves an allocation of \p Need bytes out of the free block \p Block
+  /// (splitting if profitable) and returns the user pointer.
+  Addr allocateFrom(Addr Block, uint32_t BlockSize, uint32_t Need);
+
+  /// Obtains a new fencepost-guarded region of at least \p Need usable
+  /// bytes from sbrk and inserts it as one free block.
+  void expandHeap(uint32_t Need);
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ALLOC_COALESCINGALLOCATOR_H

@@ -1,0 +1,75 @@
+//===- alloc/CustomAlloc.cpp - Synthesized (CustoMalloc) allocator --------===//
+
+#include "alloc/CustomAlloc.h"
+
+#include <cassert>
+
+using namespace allocsim;
+
+CustomAlloc::CustomAlloc(SimHeap &AllocHeap, CostModel &AllocCost,
+                         SizeClassMap SynthesizedClasses)
+    : Allocator(AllocHeap, AllocCost), Map(std::move(SynthesizedClasses)),
+      General(AllocHeap, AllocCost) {
+  // Install the Figure 9 mapping array (one word per word-granular request
+  // size) and the class freelist heads in the static area.
+  const std::vector<uint32_t> &Table = Map.table();
+  MapTable = Heap.sbrk(static_cast<uint32_t>(4 * Table.size()));
+  for (size_t I = 0; I != Table.size(); ++I)
+    Heap.poke32(tableSlot(static_cast<uint32_t>(I)), Table[I]);
+
+  FreeLists = Heap.sbrk(static_cast<uint32_t>(4 * Map.numClasses()));
+}
+
+Addr CustomAlloc::doMalloc(uint32_t Size) {
+  if (Size > Map.maxSize()) {
+    ++SlowMallocs;
+    charge(4);
+    return General.malloc(Size);
+  }
+
+  ++FastMallocs;
+  charge(6);
+  // The single traced lookup that makes an arbitrary mapping O(1).
+  uint32_t ClassIndex = load(tableSlot((Size + 3) / 4));
+  assert(ClassIndex == Map.classIndexFor(Size) && "mapping table corrupt");
+
+  Addr Head = load(freelistSlot(ClassIndex));
+  if (Head == 0)
+    return carve(ClassIndex);
+
+  Addr Next = load(Head + 4);
+  store(freelistSlot(ClassIndex), Next);
+  store(Head, fastHeader(ClassIndex));
+  return Head + 4;
+}
+
+Addr CustomAlloc::carve(uint32_t ClassIndex) {
+  uint32_t BlockBytes = Map.classSize(ClassIndex) + 4;
+  if (TailPtr + BlockBytes > TailEnd) {
+    charge(24);
+    uint32_t Chunk = BlockBytes > 4096 ? (BlockBytes + 4095) & ~4095u : 4096;
+    TailPtr = Heap.sbrk(Chunk);
+    TailEnd = TailPtr + Chunk;
+  }
+  charge(4);
+  Addr Block = TailPtr;
+  TailPtr += BlockBytes;
+  store(Block, fastHeader(ClassIndex));
+  return Block + 4;
+}
+
+void CustomAlloc::doFree(Addr Ptr) {
+  charge(4);
+  uint32_t Header = load(Ptr - 4);
+  if (!isFastHeader(Header)) {
+    General.free(Ptr);
+    return;
+  }
+
+  uint32_t ClassIndex = Header >> 8;
+  assert(ClassIndex < Map.numClasses() && "corrupt class header");
+  Addr Block = Ptr - 4;
+  Addr Head = load(freelistSlot(ClassIndex));
+  store(Block + 4, Head);
+  store(freelistSlot(ClassIndex), Block);
+}

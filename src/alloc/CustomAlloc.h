@@ -1,0 +1,84 @@
+//===- alloc/CustomAlloc.h - Synthesized CustoMalloc allocator -*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocator architecture the paper's Sections 4.4/5 advocate and its
+/// future work pursues (the authors' CustoMalloc line): a QuickFit-style
+/// segregated-storage front end whose size classes are *synthesized from an
+/// empirical profile of the target program*, with an arbitrary size-to-class
+/// mapping implemented by the Figure 9 mapping array, and a general
+/// (GNU G++) allocator behind it for rare and large requests.
+///
+/// The mapping array is installed in simulated memory, so the single
+/// table lookup that makes arbitrary mappings affordable is itself part of
+/// the measured reference stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ALLOC_CUSTOMALLOC_H
+#define ALLOCSIM_ALLOC_CUSTOMALLOC_H
+
+#include "alloc/Allocator.h"
+#include "alloc/GnuGxx.h"
+#include "alloc/SizeClassMap.h"
+
+#include <vector>
+
+namespace allocsim {
+
+/// Profile-synthesized segregated-storage allocator.
+class CustomAlloc final : public Allocator {
+public:
+  /// Builds the allocator around a synthesized \p Classes map (typically
+  /// SizeClassMap::fromProfile of a captured workload profile).
+  CustomAlloc(SimHeap &Heap, CostModel &Cost, SizeClassMap Classes);
+
+  AllocatorKind kind() const override { return AllocatorKind::Custom; }
+
+  const SizeClassMap &classes() const { return Map; }
+
+  uint64_t fastMallocs() const { return FastMallocs; }
+  uint64_t slowMallocs() const { return SlowMallocs; }
+
+  /// Scans performed by the general (GNU G++) backend.
+  uint64_t blocksSearched() const override {
+    return General.blocksSearched();
+  }
+
+private:
+  Addr doMalloc(uint32_t Size) override;
+  void doFree(Addr Ptr) override;
+
+  Addr carve(uint32_t ClassIndex);
+
+  Addr freelistSlot(uint32_t ClassIndex) const {
+    return FreeLists + 4 * ClassIndex;
+  }
+  Addr tableSlot(uint32_t SizeWord) const { return MapTable + 4 * SizeWord; }
+
+  static uint32_t fastHeader(uint32_t ClassIndex) {
+    return (ClassIndex << 8) | 0x2u | 0x1u;
+  }
+  static bool isFastHeader(uint32_t Header) { return (Header & 0x2u) != 0; }
+
+  SizeClassMap Map;
+  /// Figure 9 mapping array, in simulated memory.
+  Addr MapTable;
+  /// Per-class LIFO freelist heads, in simulated memory.
+  Addr FreeLists;
+  /// Bump-pointer region for replenishing class lists.
+  Addr TailPtr = 0;
+  Addr TailEnd = 0;
+
+  GnuGxx General;
+
+  uint64_t FastMallocs = 0;
+  uint64_t SlowMallocs = 0;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ALLOC_CUSTOMALLOC_H

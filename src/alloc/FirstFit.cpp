@@ -1,0 +1,72 @@
+//===- alloc/FirstFit.cpp - Knuth first-fit allocator ---------------------===//
+
+#include "alloc/FirstFit.h"
+
+#include "support/Error.h"
+
+using namespace allocsim;
+
+FirstFit::FirstFit(SimHeap &AllocHeap, CostModel &AllocCost,
+                   FirstFitPolicy FitPolicy)
+    : CoalescingAllocator(AllocHeap, AllocCost), Policy(FitPolicy) {
+  Sentinel = makeSentinel();
+  Rover = Sentinel;
+}
+
+std::pair<Addr, uint32_t> FirstFit::findFit(uint32_t Need) {
+  // Scan the circular list starting at the rover (which stays pinned to
+  // the sentinel under the non-roving policies); stop after one full lap.
+  Addr Start = Rover;
+  Addr Node = Start;
+  do {
+    if (Node != Sentinel) {
+      ++BlocksExamined;
+      charge(2); // compare + branch per candidate.
+      uint32_t Tag = readHeader(Node);
+      assert(!tagAllocated(Tag) && "allocated block on freelist");
+      uint32_t Size = tagSize(Tag);
+      if (Size >= Need) {
+        // Next search resumes here under the roving discipline.
+        if (Policy == FirstFitPolicy::Roving)
+          Rover = Node;
+        return {Node, Size};
+      }
+    }
+    Node = load(Node + 4);
+  } while (Node != Start);
+  return {0, 0};
+}
+
+void FirstFit::insertFree(Addr Block, uint32_t Size) {
+  (void)Size;
+  switch (Policy) {
+  case FirstFitPolicy::Roving:
+    // Freed and split blocks enter the list at the roving pointer.
+    assert(Block != Rover && "inserting a block that is already the rover");
+    linkAfter(Rover, Block);
+    return;
+  case FirstFitPolicy::Lifo:
+    linkAfter(Sentinel, Block);
+    return;
+  case FirstFitPolicy::AddressOrdered: {
+    // Walk to the last node below Block; the traversal is the CPU and
+    // locality cost the paper ascribes to sorted freelists.
+    Addr Prev = Sentinel;
+    for (Addr Node = load(Sentinel + 4);
+         Node != Sentinel && Node < Block; Node = load(Node + 4)) {
+      charge(2);
+      Prev = Node;
+    }
+    linkAfter(Prev, Block);
+    return;
+  }
+  }
+  unreachable("unknown first-fit policy");
+}
+
+void FirstFit::onUnlinked(Addr Block, Addr Next) {
+  // Keep the rover off unlinked blocks.
+  if (Rover == Block)
+    Rover = Next;
+}
+

@@ -1,0 +1,63 @@
+//===- alloc/GnuGxx.cpp - Lea segregated first-fit allocator --------------===//
+
+#include "alloc/GnuGxx.h"
+
+#include <cassert>
+
+using namespace allocsim;
+
+GnuGxx::GnuGxx(SimHeap &AllocHeap, CostModel &AllocCost)
+    : CoalescingAllocator(AllocHeap, AllocCost) {
+  for (Addr &Bin : Bins)
+    Bin = makeSentinel();
+}
+
+unsigned GnuGxx::binFor(uint32_t Size) {
+  assert(Size >= MinBlockBytes && "block below minimum size");
+  unsigned Log = 31 - static_cast<unsigned>(__builtin_clz(Size));
+  unsigned Bin = Log - 4;
+  return Bin >= NumBins ? NumBins - 1 : Bin;
+}
+
+std::pair<Addr, uint32_t> GnuGxx::findFit(uint32_t Need) {
+  charge(6); // bin computation (logarithm of the request).
+  unsigned StartBin = binFor(Need);
+
+  // First-fit scan within the request's own bin: blocks here may be smaller
+  // than the request (the bin spans a factor of two).
+  Addr Sentinel = Bins[StartBin];
+  for (Addr Node = load(Sentinel + 4); Node != Sentinel;
+       Node = load(Node + 4)) {
+    ++BlocksExamined;
+    charge(2);
+    uint32_t Tag = readHeader(Node);
+    assert(!tagAllocated(Tag) && "allocated block on freelist");
+    uint32_t Size = tagSize(Tag);
+    if (Size >= Need)
+      return {Node, Size};
+  }
+
+  // Any block in a higher bin is guaranteed to fit (except in the overflow
+  // bin, whose entries still need a size check); take the first one.
+  for (unsigned Bin = StartBin + 1; Bin < NumBins; ++Bin) {
+    charge(2);
+    Addr BinSentinel = Bins[Bin];
+    for (Addr Node = load(BinSentinel + 4); Node != BinSentinel;
+         Node = load(Node + 4)) {
+      ++BlocksExamined;
+      uint32_t Tag = readHeader(Node);
+      uint32_t Size = tagSize(Tag);
+      if (Size >= Need)
+        return {Node, Size};
+      if (Bin != NumBins - 1)
+        assert(false && "undersized block in higher bin");
+      charge(2);
+    }
+  }
+  return {0, 0};
+}
+
+void GnuGxx::insertFree(Addr Block, uint32_t Size) {
+  charge(6); // bin computation.
+  linkAfter(Bins[binFor(Size)], Block);
+}

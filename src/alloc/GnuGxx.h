@@ -1,0 +1,60 @@
+//===- alloc/GnuGxx.h - Lea segregated first-fit allocator ------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's GNU G++ allocator (Doug Lea's early malloc): a first-fit
+/// allocator "enhanced ... by using an array of freelists segregated by
+/// object size". A freelist bin is selected by the logarithm of the
+/// allocation request "to increase the probability of a better fit"; within
+/// a bin the blocks are doubly linked and searched first-fit. In other
+/// respects (boundary tags, splitting, coalescing of adjacent free blocks)
+/// it is identical to FIRSTFIT. The paper measures it as the second-worst
+/// allocator for locality: better than FIRSTFIT because bins shorten
+/// searches, but still search- and coalesce-bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ALLOC_GNUGXX_H
+#define ALLOCSIM_ALLOC_GNUGXX_H
+
+#include "alloc/CoalescingAllocator.h"
+
+#include <array>
+
+namespace allocsim {
+
+/// Doug Lea's log2-binned segregated first fit.
+class GnuGxx final : public CoalescingAllocator {
+public:
+  GnuGxx(SimHeap &Heap, CostModel &Cost);
+
+  AllocatorKind kind() const override { return AllocatorKind::GnuGxx; }
+
+  /// Scan-length telemetry, as in FirstFit.
+  uint64_t blocksSearched() const override { return BlocksExamined; }
+
+  /// Number of size-segregated bins. Bin B holds free blocks with
+  /// size in [2^(B+4), 2^(B+5)); the last bin holds everything larger.
+  static constexpr unsigned NumBins = 24;
+
+private:
+  std::pair<Addr, uint32_t> findFit(uint32_t Need) override;
+  void insertFree(Addr Block, uint32_t Size) override;
+  uint64_t callOverhead() const override { return 14; }
+  uint32_t minSplitBytes() const override { return 64; }
+
+  /// Bin index for a block of \p Size bytes (Size >= MinBlockBytes).
+  static unsigned binFor(uint32_t Size);
+
+  /// Sentinel node of each bin's circular list.
+  std::array<Addr, NumBins> Bins;
+
+  uint64_t BlocksExamined = 0;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ALLOC_GNUGXX_H

@@ -1,0 +1,354 @@
+//===- alloc/GnuLocal.cpp - Haertel page-chunk GNU malloc -----------------===//
+
+#include "alloc/GnuLocal.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace allocsim;
+
+GnuLocal::GnuLocal(SimHeap &AllocHeap, CostModel &AllocCost,
+                   bool EmulateBoundaryTags)
+    : Allocator(AllocHeap, AllocCost), Tagged(EmulateBoundaryTags) {
+  // Static area: 9 fragment-list sentinels (next/prev) + the free-run list
+  // head slot. Initialized untraced (load-time setup).
+  unsigned NumFragLists = MaxFragLog - MinFragLog + 1;
+  FragHeads = Heap.sbrk(8 * NumFragLists + 4);
+  for (unsigned Log = MinFragLog; Log <= MaxFragLog; ++Log) {
+    Heap.poke32(fragHead(Log) + 0, fragHead(Log)); // next = self
+    Heap.poke32(fragHead(Log) + 4, fragHead(Log)); // prev = self
+  }
+  RunListHeadSlot = FragHeads + 8 * NumFragLists;
+  Heap.poke32(RunListHeadSlot, 0);
+
+  // Initial descriptor table, then mark every block the static area and the
+  // table occupy as busy so the run allocator never hands them out.
+  growTable(64);
+  uint32_t UsedBlocks = blockIndexOf(Heap.brk() - 1) + 1;
+  markBusyRun(0, UsedBlocks);
+}
+
+//===----------------------------------------------------------------------===//
+// Descriptor table management
+//===----------------------------------------------------------------------===//
+
+void GnuLocal::growTable(uint32_t MinBlocks) {
+  uint32_t NewCapacity = TableCapacity * 2;
+  if (NewCapacity < MinBlocks + 64)
+    NewCapacity = MinBlocks + 64;
+
+  charge(32); // realloc bookkeeping.
+  bool Initial = TableAddr == 0;
+  // Blocks with meaningful descriptors: everything up to the break as it
+  // stands *before* the new table is carved.
+  uint32_t Live = Initial ? 0 : blockIndexOf(Heap.brk() - 1) + 1;
+  assert(Live <= TableCapacity && "descriptor table fell behind the heap");
+  Addr NewTable = Heap.sbrk(16 * NewCapacity);
+
+  if (!Initial) {
+    // Copy live descriptors (all blocks up to the old break, including the
+    // old table itself). This is the original's table realloc-and-copy,
+    // and its references are real traffic.
+    for (uint32_t I = 0; I != Live; ++I)
+      for (uint32_t W = 0; W != 16; W += 4)
+        Heap.store32(NewTable + 16 * I + W,
+                     Heap.load32(TableAddr + 16 * I + W,
+                                 AccessSource::Allocator),
+                     AccessSource::Allocator);
+    charge(4 * Live);
+  }
+
+  TableAddr = NewTable;
+  TableCapacity = NewCapacity;
+
+  if (!Initial) {
+    // Mark the blocks the new table occupies (including any partial block
+    // it shares) as busy. The old table's blocks stay marked busy; like the
+    // original, the space is recycled only through the block pool when
+    // freed, which we conservatively never do for table generations.
+    uint32_t First = blockIndexOf(NewTable);
+    uint32_t Last = blockIndexOf(Heap.brk() - 1);
+    markBusyRun(First, Last - First + 1);
+  }
+}
+
+void GnuLocal::markBusyRun(uint32_t Index, uint32_t Count) {
+  assert(Count > 0 && "empty busy run");
+  store(descAddr(Index) + 0, TypeLargeHead);
+  store(descAddr(Index) + 4, Count);
+  for (uint32_t I = 1; I != Count; ++I)
+    store(descAddr(Index + I) + 0, TypeLargeCont);
+}
+
+uint32_t GnuLocal::morecoreBlocks(uint32_t Count) {
+  for (;;) {
+    // Align the break to a block boundary; padding bytes extend a block
+    // that is already marked busy (static or table storage).
+    uint32_t Offset = (Heap.brk() - Heap.base()) & (BlockBytes - 1);
+    uint32_t Pad = Offset == 0 ? 0 : BlockBytes - Offset;
+    uint32_t FirstNew = blockIndexOf(Heap.brk() + Pad);
+
+    if (FirstNew + Count > TableCapacity) {
+      // Growing the table moves the break; retry the alignment math.
+      growTable(FirstNew + Count);
+      continue;
+    }
+
+    charge(24); // sbrk overhead.
+    Addr Region = Heap.sbrk(Pad + Count * BlockBytes) + Pad;
+    assert(blockIndexOf(Region) == FirstNew && "block alignment drifted");
+    assert((Region & (BlockBytes - 1)) == 0 && "unaligned block region");
+    return FirstNew;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-block (large) allocation
+//===----------------------------------------------------------------------===//
+
+uint32_t GnuLocal::allocateBlocks(uint32_t Count) {
+  // First-fit over the address-ordered free-run list; the walk touches
+  // only descriptors (the "localized chunk headers").
+  uint32_t PrevIndex = 0;
+  uint32_t Current = load(RunListHeadSlot);
+  while (Current != 0) {
+    charge(4);
+    Addr Desc = descAddr(Current);
+    uint32_t RunLength = load(Desc + 4);
+    if (RunLength >= Count) {
+      Addr PrevSlot =
+          PrevIndex == 0 ? RunListHeadSlot : descAddr(PrevIndex) + 8;
+      uint32_t Next = load(Desc + 8);
+      if (RunLength == Count) {
+        // Exact: unlink the run.
+        store(PrevSlot, Next);
+        if (Next != 0)
+          store(descAddr(Next) + 12, PrevIndex);
+      } else {
+        // Take the front; the remainder becomes the run head.
+        uint32_t NewHead = Current + Count;
+        Addr NewDesc = descAddr(NewHead);
+        store(NewDesc + 0, TypeFree);
+        store(NewDesc + 4, RunLength - Count);
+        store(NewDesc + 8, Next);
+        store(NewDesc + 12, PrevIndex);
+        store(PrevSlot, NewHead);
+        if (Next != 0)
+          store(descAddr(Next) + 12, NewHead);
+      }
+      markBusyRun(Current, Count);
+      return Current;
+    }
+    PrevIndex = Current;
+    Current = load(Desc + 8);
+  }
+
+  // Nothing fits: extend the heap by exactly the blocks needed.
+  uint32_t Index = morecoreBlocks(Count);
+  markBusyRun(Index, Count);
+  return Index;
+}
+
+void GnuLocal::freeBlocks(uint32_t Index, uint32_t Count) {
+  assert(Count > 0 && "freeing empty run");
+
+  // Find the address-ordered position.
+  uint32_t PrevIndex = 0;
+  uint32_t Current = load(RunListHeadSlot);
+  while (Current != 0 && Current < Index) {
+    charge(4);
+    PrevIndex = Current;
+    Current = load(descAddr(Current) + 8);
+  }
+  assert(Current != Index && "double free of block run");
+
+  uint32_t HeadIndex = Index;
+  uint32_t Length = Count;
+
+  // Merge with the preceding run if adjacent.
+  bool MergedPrev = false;
+  if (PrevIndex != 0) {
+    uint32_t PrevLength = load(descAddr(PrevIndex) + 4);
+    if (PrevIndex + PrevLength == Index) {
+      Length += PrevLength;
+      HeadIndex = PrevIndex;
+      store(descAddr(PrevIndex) + 4, Length);
+      store(descAddr(Index) + 0, TypeFreeInterior);
+      MergedPrev = true;
+    }
+  }
+  if (!MergedPrev) {
+    Addr Desc = descAddr(Index);
+    Addr PrevSlot = PrevIndex == 0 ? RunListHeadSlot : descAddr(PrevIndex) + 8;
+    store(Desc + 0, TypeFree);
+    store(Desc + 4, Length);
+    store(Desc + 8, Current);
+    store(Desc + 12, PrevIndex);
+    store(PrevSlot, Index);
+    if (Current != 0)
+      store(descAddr(Current) + 12, Index);
+  }
+
+  // Merge with the following run if adjacent.
+  if (Current != 0 && HeadIndex + Length == Current) {
+    Addr HeadDesc = descAddr(HeadIndex);
+    Addr CurDesc = descAddr(Current);
+    uint32_t CurLength = load(CurDesc + 4);
+    uint32_t CurNext = load(CurDesc + 8);
+    store(HeadDesc + 4, Length + CurLength);
+    store(HeadDesc + 8, CurNext);
+    if (CurNext != 0)
+      store(descAddr(CurNext) + 12, HeadIndex);
+    store(CurDesc + 0, TypeFreeInterior);
+  }
+
+  // Interior descriptors of the newly freed run (debug clarity; the
+  // original leaves them stale).
+  for (uint32_t I = 1; I < Count; ++I)
+    store(descAddr(Index + I) + 0, TypeFreeInterior);
+}
+
+//===----------------------------------------------------------------------===//
+// Fragment (small) allocation
+//===----------------------------------------------------------------------===//
+
+Addr GnuLocal::mallocFragment(unsigned FragLog) {
+  Addr Head = fragHead(FragLog);
+  Addr First = load(Head + 0);
+  if (First != Head) {
+    // Pop the first free fragment of this class.
+    Addr Next = load(First + 0);
+    store(Head + 0, Next);
+    store(Next + 4, Head);
+
+    Addr Desc = descAddr(blockIndexOf(First));
+    charge(4);
+    uint32_t NFree = load(Desc + 8);
+    assert(NFree > 0 && "fragment list/descriptor count mismatch");
+    store(Desc + 8, NFree - 1);
+    return First;
+  }
+
+  // No free fragment: split a fresh block into fragments of this class and
+  // link all but the first onto the class list.
+  uint32_t Index = allocateBlocks(1);
+  Addr Block = blockAddr(Index);
+  uint32_t FragBytes = 1u << FragLog;
+  uint32_t PerBlock = BlockBytes >> FragLog;
+
+  Addr Desc = descAddr(Index);
+  store(Desc + 0, TypeFragmented);
+  store(Desc + 4, FragLog);
+  store(Desc + 8, PerBlock - 1);
+
+  assert(load(Head + 0) == Head && "class list must be empty here");
+  charge(4);
+  for (uint32_t I = 1; I != PerBlock; ++I) {
+    Addr Frag = Block + I * FragBytes;
+    store(Frag + 0, I + 1 != PerBlock ? Frag + FragBytes : Head);
+    store(Frag + 4, I != 1 ? Frag - FragBytes : Head);
+  }
+  store(Head + 0, Block + FragBytes);
+  store(Head + 4, Block + (PerBlock - 1) * FragBytes);
+  return Block;
+}
+
+void GnuLocal::freeFragment(Addr Ptr, Addr BlockAddress, Addr Desc) {
+  uint32_t FragLog = load(Desc + 4);
+  assert(FragLog >= MinFragLog && FragLog <= MaxFragLog &&
+         "corrupt fragment descriptor");
+  uint32_t FragBytes = 1u << FragLog;
+  uint32_t PerBlock = BlockBytes >> FragLog;
+  assert(((Ptr - BlockAddress) & (FragBytes - 1)) == 0 &&
+         "free of misaligned fragment");
+
+  // Push onto the class list.
+  Addr Head = fragHead(FragLog);
+  Addr Next = load(Head + 0);
+  store(Ptr + 0, Next);
+  store(Ptr + 4, Head);
+  store(Next + 4, Ptr);
+  store(Head + 0, Ptr);
+
+  uint32_t NFree = load(Desc + 8) + 1;
+  store(Desc + 8, NFree);
+  if (NFree != PerBlock)
+    return;
+
+  // Every fragment of the block is free: unlink them all and return the
+  // whole block to the pool, as the original does.
+  charge(8);
+  for (uint32_t I = 0; I != PerBlock; ++I) {
+    Addr Frag = BlockAddress + I * FragBytes;
+    Addr FragNext = load(Frag + 0);
+    Addr FragPrev = load(Frag + 4);
+    store(FragPrev + 0, FragNext);
+    store(FragNext + 4, FragPrev);
+  }
+  ++BlocksReclaimed;
+  freeBlocks(blockIndexOf(BlockAddress), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Public paths
+//===----------------------------------------------------------------------===//
+
+Addr GnuLocal::mallocInner(uint32_t Size) {
+  charge(CallOverhead);
+  if (Size <= (1u << MaxFragLog)) {
+    // Round to a power of two (the original's loop).
+    unsigned FragLog = MinFragLog;
+    while ((1u << FragLog) < Size)
+      ++FragLog;
+    charge(2 * (FragLog - MinFragLog) + 4);
+    return mallocFragment(FragLog);
+  }
+  uint32_t Count = (Size + BlockBytes - 1) >> BlockShift;
+  charge(6);
+  return blockAddr(allocateBlocks(Count));
+}
+
+void GnuLocal::freeInner(Addr Ptr) {
+  charge(CallOverhead);
+  Addr Block = Ptr & ~(BlockBytes - 1);
+  Addr Desc = descAddr(blockIndexOf(Block));
+  uint32_t Type = load(Desc + 0);
+  if (Type == TypeFragmented) {
+    freeFragment(Ptr, Block, Desc);
+    return;
+  }
+  assert(Type == TypeLargeHead && Ptr == Block &&
+         "free of bad GnuLocal pointer");
+  uint32_t Count = load(Desc + 4);
+  freeBlocks(blockIndexOf(Block), Count);
+}
+
+Addr GnuLocal::doMalloc(uint32_t Size) {
+  if (!Tagged)
+    return mallocInner(Size);
+
+  // Table 6 variant: pad each object with 8 bytes of emulated boundary
+  // tags and touch them the way real tags are touched on allocation.
+  uint32_t Rounded = (Size + 3) & ~3u;
+  Addr Base = mallocInner(Rounded + 8);
+  charge(4);
+  Heap.store32(Base, Size, AccessSource::TagEmulation);
+  Heap.store32(Base + 4 + Rounded, Size | 1, AccessSource::TagEmulation);
+  return Base + 4;
+}
+
+void GnuLocal::doFree(Addr Ptr) {
+  if (!Tagged) {
+    freeInner(Ptr);
+    return;
+  }
+  Addr Base = Ptr - 4;
+  charge(4);
+  uint32_t Size = Heap.load32(Base, AccessSource::TagEmulation);
+  uint32_t Rounded = (Size + 3) & ~3u;
+  [[maybe_unused]] uint32_t EndTag =
+      Heap.load32(Base + 4 + Rounded, AccessSource::TagEmulation);
+  assert(EndTag == (Size | 1) && "corrupt emulated boundary tag");
+  freeInner(Base);
+}

@@ -1,0 +1,68 @@
+//===- alloc/QuickFit.cpp - Weinstock/Wulf QuickFit allocator -------------===//
+
+#include "alloc/QuickFit.h"
+
+#include <cassert>
+
+using namespace allocsim;
+
+QuickFit::QuickFit(SimHeap &AllocHeap, CostModel &AllocCost)
+    : Allocator(AllocHeap, AllocCost), General(AllocHeap, AllocCost) {
+  FastLists = Heap.sbrk(4 * NumFastLists);
+}
+
+Addr QuickFit::doMalloc(uint32_t Size) {
+  if (Size > MaxFastBytes) {
+    ++SlowMallocs;
+    charge(4); // dispatch test.
+    return General.malloc(Size);
+  }
+
+  ++FastMallocs;
+  charge(6); // call overhead + index computation.
+  unsigned ClassIndex = (Size + 3) / 4 - 1;
+
+  Addr Head = load(freelistSlot(ClassIndex));
+  if (Head == 0)
+    return carveFast(ClassIndex);
+
+  // Pop: the free block's link lives in its (word-sized) payload.
+  Addr Next = load(Head + 4);
+  store(freelistSlot(ClassIndex), Next);
+  store(Head, fastHeader(ClassIndex));
+  return Head + 4;
+}
+
+Addr QuickFit::carveFast(unsigned ClassIndex) {
+  // Block = header word + payload.
+  uint32_t BlockBytes = (ClassIndex + 1) * 4 + 4;
+  if (TailPtr + BlockBytes > TailEnd) {
+    // A fresh tail region; the (sub-block-size) remainder of the old tail
+    // is abandoned, as in the original working-region scheme.
+    charge(24);
+    TailPtr = Heap.sbrk(4096);
+    TailEnd = TailPtr + 4096;
+  }
+  charge(4);
+  Addr Block = TailPtr;
+  TailPtr += BlockBytes;
+  store(Block, fastHeader(ClassIndex));
+  return Block + 4;
+}
+
+void QuickFit::doFree(Addr Ptr) {
+  charge(4);
+  uint32_t Header = load(Ptr - 4);
+  if (!isFastHeader(Header)) {
+    General.free(Ptr);
+    return;
+  }
+
+  unsigned ClassIndex = Header >> 8;
+  assert(ClassIndex < NumFastLists && "corrupt fast-block header");
+  Addr Block = Ptr - 4;
+  // LIFO push; the link reuses the payload word.
+  Addr Head = load(freelistSlot(ClassIndex));
+  store(Block + 4, Head);
+  store(freelistSlot(ClassIndex), Block);
+}

@@ -1,0 +1,86 @@
+//===- alloc/QuickFit.h - Weinstock/Wulf QuickFit allocator -----*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's QUICKFIT (Weinstock & Wulf): a hybrid allocator. Requests of
+/// 4-32 bytes, rounded to word multiples, are served from an array of
+/// exact-size LIFO freelists — "the object request size is used as an index
+/// into the freelist array, returning the appropriate freelist in a small
+/// number of instructions". Empty fast lists are replenished by carving
+/// from a bump-pointer tail region. Larger requests are delegated to a
+/// general first-fit allocator — GNU G++, matching the configuration the
+/// paper measured. Fast blocks are never split, coalesced, or returned.
+///
+/// Deallocation identifies the owning allocator through a one-word boundary
+/// tag ("using a boundary tag in our implementation"), whose cache cost the
+/// paper's Section 4.3 discusses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ALLOC_QUICKFIT_H
+#define ALLOCSIM_ALLOC_QUICKFIT_H
+
+#include "alloc/Allocator.h"
+#include "alloc/GnuGxx.h"
+
+namespace allocsim {
+
+/// Weinstock/Wulf QuickFit with a GNU G++ backend for large requests.
+class QuickFit final : public Allocator {
+public:
+  QuickFit(SimHeap &Heap, CostModel &Cost);
+
+  AllocatorKind kind() const override { return AllocatorKind::QuickFit; }
+
+  /// Largest request served by the fast lists.
+  static constexpr uint32_t MaxFastBytes = 32;
+  /// Fast size classes: 4, 8, ..., 32 bytes.
+  static constexpr unsigned NumFastLists = MaxFastBytes / 4;
+
+  /// Fast-path telemetry.
+  uint64_t fastMallocs() const { return FastMallocs; }
+  uint64_t slowMallocs() const { return SlowMallocs; }
+
+  /// Scans performed by the general (GNU G++) backend.
+  uint64_t blocksSearched() const override {
+    return General.blocksSearched();
+  }
+
+private:
+  Addr doMalloc(uint32_t Size) override;
+  void doFree(Addr Ptr) override;
+
+  /// Carves a fresh block of the class from the tail region.
+  Addr carveFast(unsigned ClassIndex);
+
+  Addr freelistSlot(unsigned ClassIndex) const {
+    return FastLists + 4 * ClassIndex;
+  }
+
+  /// Fast header word: class index and the fast-block marker bit (bit 1;
+  /// general-allocator headers always have it clear since their sizes are
+  /// multiples of four).
+  static uint32_t fastHeader(unsigned ClassIndex) {
+    return (static_cast<uint32_t>(ClassIndex) << 8) | 0x2u | 0x1u;
+  }
+  static bool isFastHeader(uint32_t Header) { return (Header & 0x2u) != 0; }
+
+  /// Address of the fast freelist head array (static area).
+  Addr FastLists;
+  /// Bump-pointer tail region for replenishing fast lists.
+  Addr TailPtr = 0;
+  Addr TailEnd = 0;
+
+  /// General allocator for requests above MaxFastBytes.
+  GnuGxx General;
+
+  uint64_t FastMallocs = 0;
+  uint64_t SlowMallocs = 0;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ALLOC_QUICKFIT_H

@@ -1,0 +1,111 @@
+//===- alloc/SizeClassMap.cpp - Size-class mapping policies ---------------===//
+
+#include "alloc/SizeClassMap.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace allocsim;
+
+SizeClassMap::SizeClassMap(std::vector<uint32_t> Sizes)
+    : ClassSizes(std::move(Sizes)) {
+  assert(!ClassSizes.empty() && "size-class map needs at least one class");
+  assert(std::is_sorted(ClassSizes.begin(), ClassSizes.end()) &&
+         "class sizes must ascend");
+  for (uint32_t Size : ClassSizes) {
+    assert(Size % 4 == 0 && Size > 0 && "class sizes must be word multiples");
+    (void)Size;
+  }
+  MaxSize = ClassSizes.back();
+
+  // Figure 9: table entry per word-granular size.
+  TableBySizeWord.assign(MaxSize / 4 + 1, 0);
+  uint32_t Class = 0;
+  for (uint32_t Word = 1; Word <= MaxSize / 4; ++Word) {
+    while (ClassSizes[Class] < Word * 4)
+      ++Class;
+    TableBySizeWord[Word] = Class;
+  }
+}
+
+uint32_t SizeClassMap::classIndexFor(uint32_t Size) const {
+  assert(Size >= 1 && Size <= MaxSize && "request outside map coverage");
+  return TableBySizeWord[(Size + 3) / 4];
+}
+
+double SizeClassMap::expectedWaste(const Histogram &Profile) const {
+  double Wasted = 0, Allocated = 0;
+  for (const auto &[Size, Count] : Profile) {
+    if (Size == 0 || Size > MaxSize)
+      continue;
+    double N = static_cast<double>(Count);
+    uint32_t ClassBytes = classSize(classIndexFor(static_cast<uint32_t>(Size)));
+    Wasted += N * static_cast<double>(ClassBytes - Size);
+    Allocated += N * static_cast<double>(ClassBytes);
+  }
+  return Allocated == 0 ? 0.0 : Wasted / Allocated;
+}
+
+SizeClassMap SizeClassMap::powerOfTwo(uint32_t MaxSize) {
+  assert(MaxSize >= 4 && "degenerate maximum size");
+  std::vector<uint32_t> Sizes;
+  for (uint32_t Size = 4; Size < MaxSize; Size *= 2)
+    Sizes.push_back(Size);
+  Sizes.push_back(MaxSize);
+  return SizeClassMap(std::move(Sizes));
+}
+
+SizeClassMap SizeClassMap::wordMultiple(uint32_t Granule, uint32_t MaxSize) {
+  assert(Granule % 4 == 0 && Granule > 0 && "granule must be a word multiple");
+  assert(MaxSize % Granule == 0 && "max size must be a granule multiple");
+  std::vector<uint32_t> Sizes;
+  for (uint32_t Size = Granule; Size <= MaxSize; Size += Granule)
+    Sizes.push_back(Size);
+  return SizeClassMap(std::move(Sizes));
+}
+
+SizeClassMap SizeClassMap::boundedFragmentation(double MaxWaste,
+                                                uint32_t MaxSize) {
+  assert(MaxWaste > 0 && MaxWaste < 1 && "waste bound must be in (0, 1)");
+  // Greedy: after class C the next class is the largest word multiple such
+  // that the smallest (word-rounded) request it serves, C + 4, wastes at
+  // most MaxWaste of it. At 25% this reproduces the paper's example:
+  // requests of 12-16 bytes round to a 16-byte class.
+  std::vector<uint32_t> Sizes;
+  uint32_t Size = 4;
+  while (Size < MaxSize) {
+    Sizes.push_back(Size);
+    auto Next = static_cast<uint32_t>(static_cast<double>(Size + 4) /
+                                      (1.0 - MaxWaste));
+    Next &= ~3u;
+    if (Next <= Size)
+      Next = Size + 4;
+    Size = Next;
+  }
+  Sizes.push_back(MaxSize);
+  return SizeClassMap(std::move(Sizes));
+}
+
+SizeClassMap SizeClassMap::fromProfile(const Histogram &Profile,
+                                       size_t MaxExact, uint32_t MaxSize) {
+  // Exact classes for the most frequent (word-rounded) request sizes.
+  Histogram Rounded;
+  for (const auto &[Size, Count] : Profile)
+    if (Size >= 1 && Size <= MaxSize)
+      Rounded.add((Size + 3) & ~3ull, Count);
+
+  std::vector<uint32_t> Sizes;
+  for (uint64_t Key : Rounded.topKeys(MaxExact))
+    Sizes.push_back(static_cast<uint32_t>(Key));
+
+  // Cover the rest of [4, MaxSize] with 25%-bounded filler classes.
+  SizeClassMap Filler = boundedFragmentation(0.25, MaxSize);
+  Sizes.insert(Sizes.end(), Filler.ClassSizes.begin(),
+               Filler.ClassSizes.end());
+
+  std::sort(Sizes.begin(), Sizes.end());
+  Sizes.erase(std::unique(Sizes.begin(), Sizes.end()), Sizes.end());
+  return SizeClassMap(std::move(Sizes));
+}

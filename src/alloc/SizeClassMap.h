@@ -1,0 +1,90 @@
+//===- alloc/SizeClassMap.h - Size-class mapping policies -------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Size-class selection, the design axis of the paper's Section 4.4: "the
+/// best allocator strikes a balance between too few and too many size
+/// classes". The paper names three ways to choose classes — anecdote
+/// (QuickFit's 4..32 word multiples), bounded internal fragmentation
+/// ("if 25% or less internal fragmentation is tolerated, then objects of
+/// size 12-16 bytes are rounded to 16 bytes"), and empirical measurement of
+/// the program (their CustoMalloc work) — and its Figure 9 shows how an
+/// arbitrary mapping is made O(1): a size-indexed mapping array.
+///
+/// SizeClassMap implements all policies behind one table, and CustomAlloc
+/// installs that table in simulated memory so the Figure 9 lookup itself is
+/// part of the measured reference stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ALLOC_SIZECLASSMAP_H
+#define ALLOCSIM_ALLOC_SIZECLASSMAP_H
+
+#include "support/Histogram.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace allocsim {
+
+/// An O(1) mapping from request size to size class (Figure 9).
+class SizeClassMap {
+public:
+  /// Power-of-two classes up to \p MaxSize (the BSD policy).
+  static SizeClassMap powerOfTwo(uint32_t MaxSize);
+
+  /// Multiples of \p Granule bytes up to \p MaxSize (the QuickFit policy;
+  /// the paper's measured configuration is Granule=4, MaxSize=32).
+  static SizeClassMap wordMultiple(uint32_t Granule, uint32_t MaxSize);
+
+  /// Classes chosen so rounding wastes at most \p MaxWaste of each object
+  /// (the DeTreville policy the paper cites; 0.25 reproduces its example).
+  static SizeClassMap boundedFragmentation(double MaxWaste, uint32_t MaxSize);
+
+  /// Empirical policy (CustoMalloc): exact classes for the \p MaxExact most
+  /// frequent request sizes in \p Profile, padded out with 25%-bounded
+  /// classes so all sizes up to \p MaxSize are covered.
+  static SizeClassMap fromProfile(const Histogram &Profile, size_t MaxExact,
+                                  uint32_t MaxSize);
+
+  /// Largest request this map covers.
+  uint32_t maxSize() const { return MaxSize; }
+
+  /// Number of classes.
+  size_t numClasses() const { return ClassSizes.size(); }
+
+  /// Class index for a request of \p Size bytes (1 <= Size <= maxSize()).
+  uint32_t classIndexFor(uint32_t Size) const;
+
+  /// Rounded (class) size of class \p Index.
+  uint32_t classSize(uint32_t Index) const { return ClassSizes[Index]; }
+
+  /// Bytes wasted when a request of \p Size is served from its class.
+  uint32_t wasteFor(uint32_t Size) const {
+    return classSize(classIndexFor(Size)) - Size;
+  }
+
+  /// Expected wasted fraction over a request-size profile:
+  /// sum(count * waste) / sum(count * classSize).
+  double expectedWaste(const Histogram &Profile) const;
+
+  /// The raw mapping table, indexed by (Size+3)/4: entry = class index.
+  /// CustomAlloc installs exactly this array into simulated memory.
+  const std::vector<uint32_t> &table() const { return TableBySizeWord; }
+
+private:
+  /// Builds the table from an ascending list of distinct class sizes (all
+  /// multiples of 4).
+  explicit SizeClassMap(std::vector<uint32_t> Sizes);
+
+  std::vector<uint32_t> ClassSizes;
+  std::vector<uint32_t> TableBySizeWord;
+  uint32_t MaxSize = 0;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ALLOC_SIZECLASSMAP_H

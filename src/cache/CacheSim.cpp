@@ -1,0 +1,181 @@
+//===- cache/CacheSim.cpp - Data-cache simulators -------------------------===//
+
+#include "cache/CacheSim.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace allocsim;
+
+namespace {
+
+bool isPowerOfTwo(uint32_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+uint32_t log2Exact(uint32_t Value) {
+  assert(isPowerOfTwo(Value) && "log2Exact of non-power-of-two");
+  return static_cast<uint32_t>(__builtin_ctz(Value));
+}
+
+} // namespace
+
+bool CacheConfig::valid() const {
+  return isPowerOfTwo(SizeBytes) && isPowerOfTwo(BlockBytes) &&
+         isPowerOfTwo(Assoc) && BlockBytes >= 4 && SizeBytes >= BlockBytes &&
+         Assoc <= numBlocks();
+}
+
+std::string CacheConfig::describe() const {
+  std::string Result = std::to_string(SizeBytes / 1024) + "K ";
+  Result += Assoc == 1 ? "direct-mapped" : (std::to_string(Assoc) + "-way");
+  Result += ", " + std::to_string(BlockBytes) + "B blocks";
+  return Result;
+}
+
+CacheSim::CacheSim(const CacheConfig &SimConfig)
+    : Config(SimConfig), BlockShift(log2Exact(SimConfig.BlockBytes)) {
+  if (!Config.valid())
+    reportFatalError("invalid cache configuration: " + Config.describe());
+}
+
+void CacheSim::access(const MemAccess &Acc) {
+  uint64_t First = Acc.Address >> BlockShift;
+  uint64_t Last = (Acc.Address + std::max<uint32_t>(Acc.Size, 1) - 1)
+                  >> BlockShift;
+  // An access straddling a block boundary counts once per block touched,
+  // like a trace with one entry per word.
+  for (uint64_t Frame = First; Frame <= Last; ++Frame) {
+    ++Stats.Accesses;
+    ++Stats.AccessesBySource[static_cast<unsigned>(Acc.Source)];
+    if (!probe(Frame)) {
+      ++Stats.Misses;
+      ++Stats.MissesBySource[static_cast<unsigned>(Acc.Source)];
+    }
+  }
+}
+
+DirectMappedCache::DirectMappedCache(const CacheConfig &SimConfig)
+    : CacheSim(SimConfig), IndexMask(SimConfig.numSets() - 1),
+      Tags(SimConfig.numSets(), 0) {
+  assert(Config.Assoc == 1 && "direct-mapped cache requires Assoc == 1");
+}
+
+void DirectMappedCache::reset() {
+  std::fill(Tags.begin(), Tags.end(), 0);
+  Stats = CacheStats();
+}
+
+bool DirectMappedCache::probe(uint64_t BlockFrame) {
+  uint32_t Set = static_cast<uint32_t>(BlockFrame) & IndexMask;
+  uint64_t TagPlusOne = BlockFrame + 1;
+  if (Tags[Set] == TagPlusOne)
+    return true;
+  Tags[Set] = TagPlusOne;
+  return false;
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig &SimConfig)
+    : CacheSim(SimConfig), NumSets(SimConfig.numSets()),
+      Ways(static_cast<size_t>(SimConfig.numSets()) * SimConfig.Assoc, 0) {}
+
+void SetAssocCache::reset() {
+  std::fill(Ways.begin(), Ways.end(), 0);
+  Stats = CacheStats();
+}
+
+bool SetAssocCache::probe(uint64_t BlockFrame) {
+  uint32_t Set = static_cast<uint32_t>(BlockFrame % NumSets);
+  uint64_t TagPlusOne = BlockFrame + 1;
+  uint64_t *SetWays = &Ways[static_cast<size_t>(Set) * Config.Assoc];
+  for (uint32_t Way = 0; Way != Config.Assoc; ++Way) {
+    if (SetWays[Way] != TagPlusOne)
+      continue;
+    // Hit: move to MRU position.
+    for (uint32_t J = Way; J != 0; --J)
+      SetWays[J] = SetWays[J - 1];
+    SetWays[0] = TagPlusOne;
+    return true;
+  }
+  // Miss: evict LRU (last way), shift, insert at MRU.
+  for (uint32_t J = Config.Assoc - 1; J != 0; --J)
+    SetWays[J] = SetWays[J - 1];
+  SetWays[0] = TagPlusOne;
+  return false;
+}
+
+VictimCache::VictimCache(const CacheConfig &SimConfig,
+                         uint32_t VictimEntries)
+    : CacheSim(SimConfig), IndexMask(SimConfig.numSets() - 1),
+      Tags(SimConfig.numSets(), 0), Victims(VictimEntries, 0) {
+  if (SimConfig.Assoc != 1)
+    reportFatalError("victim cache requires a direct-mapped main array");
+  if (VictimEntries == 0)
+    reportFatalError("victim cache needs at least one buffer entry");
+}
+
+void VictimCache::reset() {
+  std::fill(Tags.begin(), Tags.end(), 0);
+  std::fill(Victims.begin(), Victims.end(), 0);
+  Stats = CacheStats();
+  VictimHits = 0;
+}
+
+bool VictimCache::probe(uint64_t BlockFrame) {
+  uint32_t Set = static_cast<uint32_t>(BlockFrame) & IndexMask;
+  uint64_t TagPlusOne = BlockFrame + 1;
+  if (Tags[Set] == TagPlusOne)
+    return true;
+
+  // Main-array miss: search the victim buffer.
+  for (size_t I = 0; I != Victims.size(); ++I) {
+    if (Victims[I] != TagPlusOne)
+      continue;
+    // Swap: the requested block returns to the main array, the displaced
+    // main block takes its buffer slot (promoted to most recent).
+    uint64_t Displaced = Tags[Set];
+    Tags[Set] = TagPlusOne;
+    for (size_t J = I; J != 0; --J)
+      Victims[J] = Victims[J - 1];
+    Victims[0] = Displaced;
+    ++VictimHits;
+    return true;
+  }
+
+  // Full miss: displaced main block enters the buffer (LRU evict).
+  uint64_t Displaced = Tags[Set];
+  Tags[Set] = TagPlusOne;
+  if (Displaced != 0) {
+    for (size_t J = Victims.size() - 1; J != 0; --J)
+      Victims[J] = Victims[J - 1];
+    Victims[0] = Displaced;
+  }
+  return false;
+}
+
+size_t CacheBank::addCache(const CacheConfig &SimConfig) {
+  if (SimConfig.Assoc == 1)
+    Caches.push_back(std::make_unique<DirectMappedCache>(SimConfig));
+  else
+    Caches.push_back(std::make_unique<SetAssocCache>(SimConfig));
+  return Caches.size() - 1;
+}
+
+void CacheBank::access(const MemAccess &Acc) {
+  for (auto &Cache : Caches)
+    Cache->access(Acc);
+}
+
+void CacheBank::resetAll() {
+  for (auto &Cache : Caches)
+    Cache->reset();
+}
+
+std::vector<CacheConfig> allocsim::paperCacheSweep() {
+  std::vector<CacheConfig> Configs;
+  for (uint32_t Kb = 16; Kb <= 256; Kb *= 2)
+    Configs.push_back(CacheConfig{Kb * 1024, 32, 1});
+  return Configs;
+}

@@ -1,0 +1,183 @@
+//===- cache/CacheSim.h - Data-cache simulators -----------------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data-cache simulators in the mold of TYCHO (Hill), which the paper
+/// modified for execution-driven simulation. The paper's configuration is a
+/// direct-mapped cache with 32-byte blocks; we additionally provide
+/// set-associative LRU caches as an extension, and a CacheBank that
+/// simulates many configurations from one reference stream in a single pass
+/// (how the paper produced its miss-rate-vs-cache-size curves).
+///
+/// Misses are counted for both reads and writes (write-allocate); only the
+/// data stream is modeled — the paper assumes a 0% instruction-cache miss
+/// rate. Statistics are split by access source so that allocator-induced
+/// and tag-induced misses can be attributed (Table 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_CACHE_CACHESIM_H
+#define ALLOCSIM_CACHE_CACHESIM_H
+
+#include "mem/AccessSink.h"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace allocsim {
+
+/// Geometry of one cache.
+struct CacheConfig {
+  /// Total capacity in bytes; must be a power of two.
+  uint32_t SizeBytes = 16 * 1024;
+  /// Block (line) size in bytes; must be a power of two. The paper uses 32.
+  uint32_t BlockBytes = 32;
+  /// Associativity; 1 = direct-mapped (the paper's configuration).
+  uint32_t Assoc = 1;
+
+  uint32_t numBlocks() const { return SizeBytes / BlockBytes; }
+  uint32_t numSets() const { return numBlocks() / Assoc; }
+
+  /// True if sizes are powers of two and the geometry is consistent.
+  bool valid() const;
+
+  /// E.g. "64K direct-mapped, 32B blocks".
+  std::string describe() const;
+};
+
+/// Hit/miss counters, split by access source.
+struct CacheStats {
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+  std::array<uint64_t, NumAccessSources> AccessesBySource{};
+  std::array<uint64_t, NumAccessSources> MissesBySource{};
+
+  double missRate() const {
+    return Accesses == 0 ? 0.0
+                         : static_cast<double>(Misses) /
+                               static_cast<double>(Accesses);
+  }
+
+  uint64_t accessesFrom(AccessSource Source) const {
+    return AccessesBySource[static_cast<unsigned>(Source)];
+  }
+  uint64_t missesFrom(AccessSource Source) const {
+    return MissesBySource[static_cast<unsigned>(Source)];
+  }
+};
+
+/// Common interface: a cache is an AccessSink with stats.
+class CacheSim : public AccessSink {
+public:
+  explicit CacheSim(const CacheConfig &Config);
+
+  const CacheConfig &config() const { return Config; }
+  const CacheStats &stats() const { return Stats; }
+
+  /// Empties the cache and zeroes statistics.
+  virtual void reset() = 0;
+
+  /// Splits an access into the block frames it covers and calls probe() for
+  /// each; updates statistics.
+  void access(const MemAccess &Access) final;
+
+protected:
+  /// Returns true on hit; updates replacement state.
+  virtual bool probe(uint64_t BlockFrame) = 0;
+
+  CacheConfig Config;
+  CacheStats Stats;
+  uint32_t BlockShift;
+};
+
+/// Direct-mapped cache: one tag per set. This is the paper's model.
+class DirectMappedCache final : public CacheSim {
+public:
+  explicit DirectMappedCache(const CacheConfig &Config);
+
+  void reset() override;
+
+private:
+  bool probe(uint64_t BlockFrame) override;
+
+  uint32_t IndexMask;
+  /// Tag-plus-one per set; 0 means invalid.
+  std::vector<uint64_t> Tags;
+};
+
+/// N-way set-associative cache with true-LRU replacement (extension beyond
+/// the paper's direct-mapped study).
+class SetAssocCache final : public CacheSim {
+public:
+  explicit SetAssocCache(const CacheConfig &Config);
+
+  void reset() override;
+
+private:
+  bool probe(uint64_t BlockFrame) override;
+
+  uint32_t NumSets;
+  /// Ways for each set, most-recently-used first; 0 means invalid.
+  std::vector<uint64_t> Ways;
+};
+
+/// Direct-mapped cache augmented with a small fully-associative victim
+/// buffer (Jouppi 1990, cited in the paper's introduction as the era's
+/// answer to rising miss costs). A block evicted from the main array drops
+/// into the victim buffer; a main-array miss that hits the buffer swaps
+/// the two blocks and counts as a hit. Extension beyond the paper's
+/// direct-mapped study: it shows how much of each allocator's miss rate is
+/// conflict structure a tiny buffer can absorb.
+class VictimCache final : public CacheSim {
+public:
+  /// \p Config must be direct-mapped; \p VictimEntries is the buffer size
+  /// in blocks (Jouppi studied 1-15).
+  VictimCache(const CacheConfig &Config, uint32_t VictimEntries);
+
+  void reset() override;
+
+  /// Main-array misses that the victim buffer absorbed.
+  uint64_t victimHits() const { return VictimHits; }
+
+private:
+  bool probe(uint64_t BlockFrame) override;
+
+  uint32_t IndexMask;
+  /// Tag-plus-one per set; 0 means invalid.
+  std::vector<uint64_t> Tags;
+  /// Victim buffer, most-recently-inserted first; 0 means invalid.
+  std::vector<uint64_t> Victims;
+  uint64_t VictimHits = 0;
+};
+
+/// Simulates several cache configurations simultaneously from one stream.
+class CacheBank final : public AccessSink {
+public:
+  /// Adds a cache (direct-mapped if Assoc==1, else set-associative) and
+  /// returns its index.
+  size_t addCache(const CacheConfig &Config);
+
+  void access(const MemAccess &Access) override;
+
+  size_t size() const { return Caches.size(); }
+  const CacheSim &cache(size_t Index) const { return *Caches[Index]; }
+
+  void resetAll();
+
+private:
+  std::vector<std::unique_ptr<CacheSim>> Caches;
+};
+
+/// Builds the paper's sweep: direct-mapped caches of 16K, 32K, ..., 256K
+/// with 32-byte blocks.
+std::vector<CacheConfig> paperCacheSweep();
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_CACHE_CACHESIM_H

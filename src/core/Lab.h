@@ -1,0 +1,142 @@
+//===- core/Lab.h - Experiment orchestration --------------------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public facade of allocsim: configure one experiment — an application
+/// workload run against one allocator, observed by any set of cache
+/// configurations and optionally by the page-fault simulator — and run it,
+/// collecting everything the paper's figures and tables need: instruction
+/// splits (Figure 1), fault-rate curves (Figures 2-3), miss rates (Figures
+/// 6-8), time estimates (Figures 4-5, Tables 4-5), and per-source miss
+/// attribution (Table 6).
+///
+/// Typical use:
+/// \code
+///   ExperimentConfig Config;
+///   Config.Workload = WorkloadId::Gs;
+///   Config.Allocator = AllocatorKind::QuickFit;
+///   Config.Caches = paperCacheSweep();
+///   RunResult Result = runExperiment(Config);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_CORE_LAB_H
+#define ALLOCSIM_CORE_LAB_H
+
+#include "alloc/Allocator.h"
+#include "alloc/FirstFit.h"
+#include "alloc/SizeClassMap.h"
+#include "cache/CacheSim.h"
+#include "metrics/CostModel.h"
+#include "workload/Engine.h"
+#include "workload/Workload.h"
+
+#include <optional>
+#include <vector>
+
+namespace allocsim {
+
+/// Full description of one run.
+struct ExperimentConfig {
+  WorkloadId Workload = WorkloadId::Espresso;
+  AllocatorKind Allocator = AllocatorKind::FirstFit;
+
+  /// Workload scaling/seeding (see EngineOptions).
+  EngineOptions Engine;
+
+  /// Cache geometries to observe (may be empty).
+  std::vector<CacheConfig> Caches;
+
+  /// Memory sizes (KB) at which to sample the page-fault-rate curve; the
+  /// page simulator runs only if non-empty.
+  std::vector<uint32_t> PagingMemoryKb;
+  uint32_t PageBytes = 4096;
+
+  /// Cache miss penalty in cycles (the paper's "modest" value is 25).
+  uint32_t MissPenaltyCycles = 25;
+
+  /// Run GnuLocal with emulated 8-byte boundary tags (Table 6).
+  bool EmulateBoundaryTags = false;
+
+  /// Free-list discipline when Allocator == FirstFit (extension ablation;
+  /// the paper's measured configuration is Roving).
+  FirstFitPolicy FirstFitDiscipline = FirstFitPolicy::Roving;
+
+  /// Size-class budget when Allocator == Custom (classes are synthesized
+  /// from this same workload's request-size profile).
+  size_t CustomExactClasses = 12;
+  uint32_t CustomMaxFastBytes = 1024;
+  /// Explicit class map for Allocator == Custom, overriding the profile
+  /// synthesis (used by the size-class policy ablation).
+  std::optional<SizeClassMap> CustomClasses;
+};
+
+/// Miss statistics and derived time estimate for one cache geometry.
+struct CacheResult {
+  CacheConfig Config;
+  CacheStats Stats;
+  TimeEstimate Time;
+};
+
+/// One point of the fault-rate curve.
+struct PagingPoint {
+  uint32_t MemoryKb = 0;
+  double FaultsPerRef = 0;
+};
+
+/// Everything measured in one run.
+struct RunResult {
+  /// Instruction split (QP's role; Figure 1).
+  uint64_t AppInstructions = 0;
+  uint64_t AllocInstructions = 0;
+  double allocInstrFraction() const {
+    uint64_t Total = AppInstructions + AllocInstructions;
+    return Total == 0 ? 0.0
+                      : static_cast<double>(AllocInstructions) /
+                            static_cast<double>(Total);
+  }
+  uint64_t totalInstructions() const {
+    return AppInstructions + AllocInstructions;
+  }
+
+  /// Reference-stream volume (PIXIE's role; Table 2).
+  uint64_t TotalRefs = 0;
+  uint64_t AppRefs = 0;
+  uint64_t AllocRefs = 0;
+  uint64_t TagRefs = 0;
+
+  /// Allocator usage (Table 2 heap/object columns).
+  AllocatorStats Alloc;
+  uint32_t HeapBytes = 0;
+  /// Free-structure nodes examined (sequential-fit allocators only).
+  uint64_t BlocksSearched = 0;
+
+  /// Per-cache results, in config order.
+  std::vector<CacheResult> Caches;
+
+  /// Fault-rate curve samples, in config order.
+  std::vector<PagingPoint> Paging;
+  uint64_t DistinctPages = 0;
+
+  /// Estimated execution seconds on the paper's 25 MHz test vehicle using
+  /// cache \p CacheIndex.
+  double estimatedSeconds(size_t CacheIndex) const {
+    return Caches.at(CacheIndex).Time.seconds();
+  }
+};
+
+/// Runs one experiment.
+RunResult runExperiment(const ExperimentConfig &Config);
+
+/// Runs the same workload over each allocator in \p Allocators (shared
+/// configuration otherwise), in order.
+std::vector<RunResult> runSweep(const ExperimentConfig &Base,
+                                const std::vector<AllocatorKind> &Allocators);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_CORE_LAB_H

@@ -1,0 +1,33 @@
+//===- mem/AccessSink.h - Consumer interface for references -----*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The consumer interface for the reference stream. Cache simulators, the
+/// page-fault simulator, and trace writers all implement AccessSink; the
+/// MemoryBus fans each reference out to every attached sink, which is how
+/// the paper simulated many cache sizes from a single program execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_MEM_ACCESSSINK_H
+#define ALLOCSIM_MEM_ACCESSSINK_H
+
+#include "mem/MemAccess.h"
+
+namespace allocsim {
+
+/// Abstract consumer of memory references.
+class AccessSink {
+public:
+  virtual ~AccessSink();
+
+  /// Consumes one reference.
+  virtual void access(const MemAccess &Access) = 0;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_MEM_ACCESSSINK_H

@@ -1,0 +1,32 @@
+//===- mem/MemoryBus.cpp - Reference fan-out and accounting ---------------===//
+
+#include "mem/MemoryBus.h"
+
+#include <algorithm>
+
+using namespace allocsim;
+
+AccessSink::~AccessSink() = default;
+
+void MemoryBus::attach(AccessSink *Sink) {
+  if (std::find(Sinks.begin(), Sinks.end(), Sink) == Sinks.end())
+    Sinks.push_back(Sink);
+}
+
+void MemoryBus::detach(AccessSink *Sink) {
+  Sinks.erase(std::remove(Sinks.begin(), Sinks.end(), Sink), Sinks.end());
+}
+
+void MemoryBus::access(const MemAccess &Access) {
+  ++Total;
+  ++BySource[static_cast<unsigned>(Access.Source)];
+  ++ByKind[static_cast<unsigned>(Access.Kind)];
+  for (AccessSink *Sink : Sinks)
+    Sink->access(Access);
+}
+
+void MemoryBus::resetCounters() {
+  Total = 0;
+  BySource.fill(0);
+  ByKind.fill(0);
+}

@@ -1,0 +1,67 @@
+//===- mem/MemoryBus.h - Reference fan-out and accounting ------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MemoryBus receives every data reference made by the simulated program and
+/// allocator, keeps per-source/per-kind reference counts (the "Data Refs"
+/// column of the paper's Table 2), and forwards each reference to all
+/// attached sinks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_MEM_MEMORYBUS_H
+#define ALLOCSIM_MEM_MEMORYBUS_H
+
+#include "mem/AccessSink.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace allocsim {
+
+/// Central reference stream: tallies and fans out accesses.
+class MemoryBus final : public AccessSink {
+public:
+  /// Attaches \p Sink; it will receive every subsequent access. The sink is
+  /// not owned and must outlive the bus's use.
+  void attach(AccessSink *Sink);
+
+  /// Detaches a previously attached sink. No-op if not attached.
+  void detach(AccessSink *Sink);
+
+  void access(const MemAccess &Access) override;
+
+  /// Convenience emit.
+  void emit(Addr Address, uint8_t Size, AccessKind Kind, AccessSource Source) {
+    access(MemAccess{Address, Size, Kind, Source});
+  }
+
+  /// Total references seen.
+  uint64_t totalAccesses() const { return Total; }
+
+  /// References from one source.
+  uint64_t accessesFrom(AccessSource Source) const {
+    return BySource[static_cast<unsigned>(Source)];
+  }
+
+  /// Reads (resp. writes) across all sources.
+  uint64_t reads() const { return ByKind[0]; }
+  uint64_t writes() const { return ByKind[1]; }
+
+  /// Resets counters (sinks stay attached).
+  void resetCounters();
+
+private:
+  std::vector<AccessSink *> Sinks;
+  uint64_t Total = 0;
+  std::array<uint64_t, NumAccessSources> BySource{};
+  std::array<uint64_t, NumAccessKinds> ByKind{};
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_MEM_MEMORYBUS_H

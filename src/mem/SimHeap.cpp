@@ -1,0 +1,24 @@
+//===- mem/SimHeap.cpp - Simulated heap segment ---------------------------===//
+
+#include "mem/SimHeap.h"
+
+#include "support/Error.h"
+
+using namespace allocsim;
+
+SimHeap::SimHeap(MemoryBus &TraceBus, Addr HeapBaseAddr, uint32_t LimitBytes)
+    : Bus(TraceBus), Base(HeapBaseAddr), Break(HeapBaseAddr),
+      Limit(LimitBytes) {
+  assert((Base & 4095) == 0 && "heap base must be page aligned");
+}
+
+Addr SimHeap::sbrk(uint32_t Bytes) {
+  if (Bytes > Limit - heapBytes())
+    reportFatalError("simulated heap limit exceeded (sbrk of " +
+                     std::to_string(Bytes) + " bytes past " +
+                     std::to_string(heapBytes()) + ")");
+  Addr Old = Break;
+  Break += Bytes;
+  Storage.resize(Break - Base, 0);
+  return Old;
+}

@@ -1,0 +1,98 @@
+//===- mem/SimHeap.h - Simulated heap segment -------------------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A byte-addressed simulated heap segment with a Unix-style sbrk. The five
+/// allocators store *all* of their metadata — free-list links, boundary
+/// tags, chunk-header tables — inside this heap through the traced
+/// load/store accessors, so every metadata reference the 1993
+/// implementations would have made reaches the cache and page simulators at
+/// the same simulated address it would have occupied.
+///
+/// Untraced peek/poke accessors exist for tests and internal assertions;
+/// they never emit bus traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_MEM_SIMHEAP_H
+#define ALLOCSIM_MEM_SIMHEAP_H
+
+#include "mem/MemoryBus.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace allocsim {
+
+/// Simulated heap: contiguous segment [base(), brk()) of a 32-bit address
+/// space backed by host memory.
+class SimHeap {
+public:
+  /// Creates a heap starting at \p Base that may grow to at most \p LimitBytes.
+  explicit SimHeap(MemoryBus &TraceBus, Addr Base = HeapBase,
+                   uint32_t LimitBytes = 256 * 1024 * 1024);
+
+  /// Extends the break by \p Bytes (like Unix sbrk) and returns the previous
+  /// break, i.e. the address of the new region. New memory is zero-filled.
+  /// Growth beyond the limit is a fatal error (the 1993 programs never
+  /// exhaust a modern host's memory).
+  Addr sbrk(uint32_t Bytes);
+
+  Addr base() const { return Base; }
+  Addr brk() const { return Break; }
+
+  /// Bytes obtained from the "operating system" so far.
+  uint32_t heapBytes() const { return Break - Base; }
+
+  /// True if [Address, Address+Size) lies inside the allocated segment.
+  bool contains(Addr Address, uint32_t Size = 1) const {
+    return Address >= Base && Address + Size <= Break &&
+           Address + Size > Address;
+  }
+
+  /// Traced 32-bit load: emits a 4-byte read on the bus.
+  uint32_t load32(Addr Address, AccessSource Source) {
+    Bus.emit(Address, 4, AccessKind::Read, Source);
+    return peek32(Address);
+  }
+
+  /// Traced 32-bit store: emits a 4-byte write on the bus.
+  void store32(Addr Address, uint32_t Value, AccessSource Source) {
+    Bus.emit(Address, 4, AccessKind::Write, Source);
+    poke32(Address, Value);
+  }
+
+  /// Untraced 32-bit load (tests / assertions only).
+  uint32_t peek32(Addr Address) const {
+    assert(contains(Address, 4) && "heap load out of bounds");
+    assert((Address & 3) == 0 && "misaligned 32-bit heap access");
+    uint32_t Value;
+    __builtin_memcpy(&Value, &Storage[Address - Base], 4);
+    return Value;
+  }
+
+  /// Untraced 32-bit store (tests only).
+  void poke32(Addr Address, uint32_t Value) {
+    assert(contains(Address, 4) && "heap store out of bounds");
+    assert((Address & 3) == 0 && "misaligned 32-bit heap access");
+    __builtin_memcpy(&Storage[Address - Base], &Value, 4);
+  }
+
+  /// The bus this heap traces through.
+  MemoryBus &bus() { return Bus; }
+
+private:
+  MemoryBus &Bus;
+  Addr Base;
+  Addr Break;
+  uint32_t Limit;
+  std::vector<uint8_t> Storage;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_MEM_SIMHEAP_H

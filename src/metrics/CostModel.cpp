@@ -1,0 +1,9 @@
+//===- metrics/CostModel.cpp - Instruction accounting ---------------------===//
+
+// CostModel and TimeEstimate are header-only; this file anchors the library.
+
+#include "metrics/CostModel.h"
+
+namespace allocsim {
+// Intentionally empty.
+} // namespace allocsim

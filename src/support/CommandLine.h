@@ -1,0 +1,59 @@
+//===- support/CommandLine.h - Tiny flag parser -----------------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal --flag=value / --flag value parser for the benchmark and example
+/// binaries. Unknown flags are fatal (they usually indicate a typo in an
+/// experiment script).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_SUPPORT_COMMANDLINE_H
+#define ALLOCSIM_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace allocsim {
+
+/// Parses argv into string-valued flags plus positional arguments.
+class CommandLine {
+public:
+  /// Registers a flag with a default value and help text. Must be called for
+  /// every flag before parse(); parse() rejects unregistered flags.
+  void addFlag(const std::string &Name, const std::string &Default,
+               const std::string &Help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given
+  /// or parsing failed.
+  bool parse(int Argc, const char *const *Argv);
+
+  /// Flag accessors; the flag must have been registered.
+  const std::string &getString(const std::string &Name) const;
+  int64_t getInt(const std::string &Name) const;
+  double getDouble(const std::string &Name) const;
+  bool getBool(const std::string &Name) const;
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Prints usage to stderr.
+  void printHelp(const char *Program) const;
+
+private:
+  struct Flag {
+    std::string Value;
+    std::string Default;
+    std::string Help;
+  };
+  std::map<std::string, Flag> Flags;
+  std::vector<std::string> Positional;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_SUPPORT_COMMANDLINE_H

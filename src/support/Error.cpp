@@ -1,0 +1,18 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace allocsim;
+
+void allocsim::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "allocsim fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void allocsim::unreachable(const char *Message) {
+  std::fprintf(stderr, "allocsim unreachable: %s\n", Message);
+  std::abort();
+}

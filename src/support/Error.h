@@ -1,0 +1,32 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting helpers. The library does not use exceptions; API
+/// misuse is a programmatic error handled with assertions, and unrecoverable
+/// environmental failures (e.g. an unreadable trace file in tool code) call
+/// reportFatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_SUPPORT_ERROR_H
+#define ALLOCSIM_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace allocsim {
+
+/// Prints "allocsim fatal error: <Message>" to stderr and aborts. Never
+/// returns.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in control flow that must be unreachable if program
+/// invariants hold. Aborts with the message.
+[[noreturn]] void unreachable(const char *Message);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_SUPPORT_ERROR_H

@@ -1,0 +1,42 @@
+//===- support/Histogram.cpp - Integer-keyed histogram --------------------===//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace allocsim;
+
+std::vector<uint64_t> Histogram::topKeys(size_t N) const {
+  std::vector<std::pair<uint64_t, uint64_t>> Entries(Counts.begin(),
+                                                     Counts.end());
+  std::stable_sort(Entries.begin(), Entries.end(),
+                   [](const auto &A, const auto &B) {
+                     if (A.second != B.second)
+                       return A.second > B.second;
+                     return A.first < B.first;
+                   });
+  if (Entries.size() > N)
+    Entries.resize(N);
+  std::vector<uint64_t> Keys;
+  Keys.reserve(Entries.size());
+  for (const auto &[Key, Count] : Entries)
+    Keys.push_back(Key);
+  return Keys;
+}
+
+uint64_t Histogram::quantileKey(double Fraction) const {
+  assert(!Counts.empty() && "quantile of empty histogram");
+  assert(Fraction > 0 && Fraction <= 1 && "fraction must be in (0, 1]");
+  uint64_t Target =
+      static_cast<uint64_t>(Fraction * static_cast<double>(total()));
+  if (Target == 0)
+    Target = 1;
+  uint64_t Seen = 0;
+  for (const auto &[Key, Count] : Counts) {
+    Seen += Count;
+    if (Seen >= Target)
+      return Key;
+  }
+  return Counts.rbegin()->first;
+}

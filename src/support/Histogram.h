@@ -1,0 +1,68 @@
+//===- support/Histogram.h - Integer-keyed histogram ------------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A histogram over 64-bit integer keys. Used for allocation-size profiles
+/// (feeding the CustomAlloc synthesis pass) and for stack-distance counts in
+/// the page-fault simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_SUPPORT_HISTOGRAM_H
+#define ALLOCSIM_SUPPORT_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace allocsim {
+
+/// Sparse histogram over uint64_t keys with deterministic (sorted-key)
+/// iteration order.
+class Histogram {
+public:
+  void add(uint64_t Key, uint64_t Count = 1) { Counts[Key] += Count; }
+
+  /// Returns the count recorded for \p Key (0 if never added).
+  uint64_t count(uint64_t Key) const {
+    auto It = Counts.find(Key);
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+  /// Total of all counts.
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (const auto &[Key, Count] : Counts)
+      Sum += Count;
+    return Sum;
+  }
+
+  /// Number of distinct keys.
+  size_t distinct() const { return Counts.size(); }
+
+  bool empty() const { return Counts.empty(); }
+
+  /// Returns the keys holding the top \p N counts, most frequent first.
+  /// Ties break toward smaller keys for determinism.
+  std::vector<uint64_t> topKeys(size_t N) const;
+
+  /// Smallest key K such that the cumulative count of keys <= K reaches
+  /// \p Fraction of the total. Requires a non-empty histogram and
+  /// 0 < Fraction <= 1.
+  uint64_t quantileKey(double Fraction) const;
+
+  using const_iterator = std::map<uint64_t, uint64_t>::const_iterator;
+  const_iterator begin() const { return Counts.begin(); }
+  const_iterator end() const { return Counts.end(); }
+
+private:
+  std::map<uint64_t, uint64_t> Counts;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_SUPPORT_HISTOGRAM_H

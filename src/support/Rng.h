@@ -1,0 +1,163 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of allocsim, a reproduction of Grunwald, Zorn & Henderson,
+// "Improving the Cache Locality of Memory Allocation" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation used throughout the
+/// simulator. All experiments are seeded explicitly so that runs are exactly
+/// reproducible; the paper's tools were deterministic for the same reason
+/// ("our experiments did not require statistically averaging multiple runs").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_SUPPORT_RNG_H
+#define ALLOCSIM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace allocsim {
+
+/// SplitMix64 generator; used both directly and to seed Xoshiro256.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit generator. This is the only
+/// generator used by workload synthesis.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    SplitMix64 Seeder(Seed);
+    for (auto &Word : State)
+      Word = Seeder.next();
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a value uniform in [0, Bound). Requires Bound > 0.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Rejection-free multiply-shift (Lemire); slight bias is irrelevant for
+    // workload synthesis but we keep the wide-multiply form for quality.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a double uniform in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Returns an exponentially distributed value with the given mean.
+  double nextExponential(double Mean) {
+    assert(Mean > 0 && "exponential mean must be positive");
+    double U = nextDouble();
+    // Guard against log(0).
+    if (U <= 0.0)
+      U = 0x1.0p-53;
+    return -Mean * std::log(U);
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+/// Samples indices from a fixed discrete distribution in O(1) using Walker's
+/// alias method. Used to draw allocation-request sizes from per-program size
+/// histograms.
+class DiscreteDistribution {
+public:
+  /// Builds the alias table from (possibly unnormalized) non-negative
+  /// weights. Requires at least one strictly positive weight.
+  explicit DiscreteDistribution(const std::vector<double> &Weights);
+
+  /// Draws an index in [0, size()).
+  size_t sample(Rng &R) const {
+    size_t I = static_cast<size_t>(R.nextBelow(Prob.size()));
+    return R.nextDouble() < Prob[I] ? I : Alias[I];
+  }
+
+  size_t size() const { return Prob.size(); }
+
+private:
+  std::vector<double> Prob;
+  std::vector<size_t> Alias;
+};
+
+inline DiscreteDistribution::DiscreteDistribution(
+    const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "distribution needs at least one weight");
+  double Total = 0;
+  for (double W : Weights) {
+    assert(W >= 0 && "weights must be non-negative");
+    Total += W;
+  }
+  assert(Total > 0 && "at least one weight must be positive");
+
+  size_t N = Weights.size();
+  Prob.assign(N, 0.0);
+  Alias.assign(N, 0);
+
+  std::vector<double> Scaled(N);
+  for (size_t I = 0; I != N; ++I)
+    Scaled[I] = Weights[I] * static_cast<double>(N) / Total;
+
+  std::vector<size_t> Small, Large;
+  for (size_t I = 0; I != N; ++I)
+    (Scaled[I] < 1.0 ? Small : Large).push_back(I);
+
+  while (!Small.empty() && !Large.empty()) {
+    size_t S = Small.back();
+    Small.pop_back();
+    size_t L = Large.back();
+    Large.pop_back();
+    Prob[S] = Scaled[S];
+    Alias[S] = L;
+    Scaled[L] = (Scaled[L] + Scaled[S]) - 1.0;
+    (Scaled[L] < 1.0 ? Small : Large).push_back(L);
+  }
+  for (size_t I : Large)
+    Prob[I] = 1.0;
+  for (size_t I : Small)
+    Prob[I] = 1.0;
+}
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_SUPPORT_RNG_H

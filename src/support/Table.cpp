@@ -1,0 +1,84 @@
+//===- support/Table.cpp - Aligned text table / CSV emitter ---------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace allocsim;
+
+std::string allocsim::formatDouble(double Value, int Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Value);
+  return Buffer;
+}
+
+Table::Table(std::vector<std::string> TableHeaders)
+    : Headers(std::move(TableHeaders)) {
+  assert(!Headers.empty() && "table needs at least one column");
+}
+
+void Table::beginRow() {
+  assert((Rows.empty() || Rows.back().size() == Headers.size()) &&
+         "previous row has wrong arity");
+  Rows.emplace_back();
+}
+
+void Table::cell(std::string Value) {
+  assert(!Rows.empty() && "cell() before beginRow()");
+  assert(Rows.back().size() < Headers.size() && "too many cells in row");
+  Rows.back().push_back(std::move(Value));
+}
+
+void Table::num(double Value, int Digits) {
+  cell(formatDouble(Value, Digits));
+}
+
+void Table::num(uint64_t Value) { cell(std::to_string(Value)); }
+
+void Table::renderText(std::ostream &OS, const std::string &Title) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I != Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  if (!Title.empty())
+    OS << Title << "\n";
+
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      if (I != 0)
+        OS << "  ";
+      OS << Cells[I];
+      // Right-pad all but the last column.
+      if (I + 1 != Cells.size())
+        OS << std::string(Widths[I] - Cells[I].size(), ' ');
+    }
+    OS << "\n";
+  };
+
+  EmitRow(Headers);
+  size_t Total = 0;
+  for (size_t I = 0; I != Widths.size(); ++I)
+    Total += Widths[I] + (I == 0 ? 0 : 2);
+  OS << std::string(Total, '-') << "\n";
+  for (const auto &Row : Rows)
+    EmitRow(Row);
+}
+
+void Table::renderCsv(std::ostream &OS) const {
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      if (I != 0)
+        OS << ",";
+      OS << Cells[I];
+    }
+    OS << "\n";
+  };
+  EmitRow(Headers);
+  for (const auto &Row : Rows)
+    EmitRow(Row);
+}

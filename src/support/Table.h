@@ -1,0 +1,63 @@
+//===- support/Table.h - Aligned text table / CSV emitter ------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small table builder used by the benchmark harnesses to print the
+/// paper's tables and figure series in aligned text or CSV form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_SUPPORT_TABLE_H
+#define ALLOCSIM_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace allocsim {
+
+/// Collects rows of string cells and renders them either as an aligned text
+/// table (for humans) or CSV (for plotting).
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Starts a new row. Cells are appended with cell()/num() until the next
+  /// beginRow() or render.
+  void beginRow();
+
+  /// Appends a string cell to the current row.
+  void cell(std::string Value);
+
+  /// Appends a formatted floating-point cell with \p Digits fraction digits.
+  void num(double Value, int Digits = 3);
+
+  /// Appends an integer cell.
+  void num(uint64_t Value);
+
+  /// Renders with space-padded columns, a header underline, and a leading
+  /// title line if \p Title is non-empty.
+  void renderText(std::ostream &OS, const std::string &Title = "") const;
+
+  /// Renders as CSV (no title).
+  void renderCsv(std::ostream &OS) const;
+
+  size_t rowCount() const { return Rows.size(); }
+  size_t columnCount() const { return Headers.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with fixed fraction digits (helper shared with benches).
+std::string formatDouble(double Value, int Digits);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_SUPPORT_TABLE_H

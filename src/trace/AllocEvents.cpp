@@ -1,0 +1,102 @@
+//===- trace/AllocEvents.cpp - Allocation event scripts -------------------===//
+
+#include "trace/AllocEvents.h"
+
+#include "support/Error.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+
+using namespace allocsim;
+
+void allocsim::writeAllocEvents(std::ostream &OS,
+                                const std::vector<AllocEvent> &Events) {
+  for (const AllocEvent &Event : Events) {
+    switch (Event.Kind) {
+    case AllocEventKind::Malloc:
+      OS << "m " << Event.Id << " " << Event.Amount << "\n";
+      break;
+    case AllocEventKind::Free:
+      OS << "f " << Event.Id << "\n";
+      break;
+    case AllocEventKind::Touch:
+      OS << "t " << Event.Id << " " << Event.Amount << " "
+         << (Event.Access == AccessKind::Read ? "r" : "w") << "\n";
+      break;
+    case AllocEventKind::StackTouch:
+      OS << "s " << Event.Amount << " "
+         << (Event.Access == AccessKind::Read ? "r" : "w") << "\n";
+      break;
+    }
+  }
+}
+
+std::vector<AllocEvent> allocsim::readAllocEvents(std::istream &IS) {
+  std::vector<AllocEvent> Events;
+  std::string Tag;
+  while (IS >> Tag) {
+    AllocEvent Event;
+    if (Tag == "m") {
+      uint32_t Id, Size;
+      if (!(IS >> Id >> Size))
+        reportFatalError("alloc events: truncated malloc record");
+      Event = AllocEvent::makeMalloc(Id, Size);
+    } else if (Tag == "f") {
+      uint32_t Id;
+      if (!(IS >> Id))
+        reportFatalError("alloc events: truncated free record");
+      Event = AllocEvent::makeFree(Id);
+    } else if (Tag == "t" || Tag == "s") {
+      uint32_t Id = 0, Words;
+      std::string Mode;
+      if (Tag == "t" && !(IS >> Id))
+        reportFatalError("alloc events: truncated touch record");
+      if (!(IS >> Words >> Mode) || (Mode != "r" && Mode != "w"))
+        reportFatalError("alloc events: malformed touch record");
+      AccessKind Kind = Mode == "r" ? AccessKind::Read : AccessKind::Write;
+      Event = Tag == "t" ? AllocEvent::makeTouch(Id, Words, Kind)
+                         : AllocEvent::makeStackTouch(Words, Kind);
+    } else {
+      reportFatalError("alloc events: unknown record tag '" + Tag + "'");
+    }
+    Events.push_back(Event);
+  }
+  return Events;
+}
+
+bool allocsim::validateAllocEvents(const std::vector<AllocEvent> &Events,
+                                   std::string *WhyNot) {
+  auto Fail = [&](const std::string &Reason) {
+    if (WhyNot)
+      *WhyNot = Reason;
+    return false;
+  };
+  std::unordered_set<uint32_t> Live;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const AllocEvent &Event = Events[I];
+    std::string At = " at event " + std::to_string(I);
+    switch (Event.Kind) {
+    case AllocEventKind::Malloc:
+      if (Event.Amount == 0)
+        return Fail("zero-size malloc" + At);
+      if (!Live.insert(Event.Id).second)
+        return Fail("object id " + std::to_string(Event.Id) +
+                    " malloc'd while live" + At);
+      break;
+    case AllocEventKind::Free:
+      if (Live.erase(Event.Id) == 0)
+        return Fail("free of dead object id " + std::to_string(Event.Id) + At);
+      break;
+    case AllocEventKind::Touch:
+      if (!Live.count(Event.Id))
+        return Fail("touch of dead object id " + std::to_string(Event.Id) +
+                    At);
+      break;
+    case AllocEventKind::StackTouch:
+      break;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,77 @@
+//===- trace/AllocEvents.h - Allocation event scripts -----------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation-event scripts: the malloc/free/touch behaviour of a program,
+/// abstracted away from any particular allocator. A synthetic program can be
+/// captured to a script and replayed against each of the five allocators,
+/// which guarantees every allocator sees the *identical* request stream —
+/// the same methodological guarantee the paper got by tracing one execution
+/// of each application per allocator.
+///
+/// Text format, one event per line:
+///   m <id> <size>      allocate <size> bytes, name the object <id>
+///   f <id>             free object <id>
+///   t <id> <words> r|w touch <words> 4-byte words of object <id>
+///   s <words> r|w      touch <words> words of the stack/static segment
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_TRACE_ALLOCEVENTS_H
+#define ALLOCSIM_TRACE_ALLOCEVENTS_H
+
+#include "mem/MemAccess.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace allocsim {
+
+/// Kind of allocation event.
+enum class AllocEventKind : uint8_t { Malloc, Free, Touch, StackTouch };
+
+/// One scripted event.
+struct AllocEvent {
+  AllocEventKind Kind = AllocEventKind::Malloc;
+  /// Object identifier (Malloc names it; Free/Touch refer to it).
+  uint32_t Id = 0;
+  /// Malloc: requested bytes. Touch/StackTouch: number of words touched.
+  uint32_t Amount = 0;
+  /// Touch/StackTouch: read or write.
+  AccessKind Access = AccessKind::Read;
+
+  static AllocEvent makeMalloc(uint32_t Id, uint32_t Size) {
+    return {AllocEventKind::Malloc, Id, Size, AccessKind::Read};
+  }
+  static AllocEvent makeFree(uint32_t Id) {
+    return {AllocEventKind::Free, Id, 0, AccessKind::Read};
+  }
+  static AllocEvent makeTouch(uint32_t Id, uint32_t Words, AccessKind Kind) {
+    return {AllocEventKind::Touch, Id, Words, Kind};
+  }
+  static AllocEvent makeStackTouch(uint32_t Words, AccessKind Kind) {
+    return {AllocEventKind::StackTouch, 0, Words, Kind};
+  }
+
+  bool operator==(const AllocEvent &Other) const = default;
+};
+
+/// Serializes \p Events in the text format.
+void writeAllocEvents(std::ostream &OS, const std::vector<AllocEvent> &Events);
+
+/// Parses an event script. Malformed input is a fatal error.
+std::vector<AllocEvent> readAllocEvents(std::istream &IS);
+
+/// Validates script well-formedness: every Free/Touch names a live object,
+/// no double-malloc of an id, no zero-size malloc. Returns true if valid;
+/// if \p WhyNot is non-null an explanation is stored on failure.
+bool validateAllocEvents(const std::vector<AllocEvent> &Events,
+                         std::string *WhyNot = nullptr);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_TRACE_ALLOCEVENTS_H

@@ -1,0 +1,103 @@
+//===- trace/RefTrace.cpp - Reference trace I/O ---------------------------===//
+
+#include "trace/RefTrace.h"
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+using namespace allocsim;
+
+namespace {
+
+constexpr char BinaryMagic[4] = {'A', 'S', 'T', '1'};
+
+constexpr char kindChar(AccessKind Kind) {
+  return Kind == AccessKind::Read ? 'R' : 'W';
+}
+
+} // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream &Stream) : OS(Stream) {
+  OS.write(BinaryMagic, sizeof(BinaryMagic));
+}
+
+void BinaryTraceWriter::access(const MemAccess &Access) {
+  unsigned char Record[6];
+  Record[0] = static_cast<unsigned char>(Access.Address);
+  Record[1] = static_cast<unsigned char>(Access.Address >> 8);
+  Record[2] = static_cast<unsigned char>(Access.Address >> 16);
+  Record[3] = static_cast<unsigned char>(Access.Address >> 24);
+  Record[4] = Access.Size;
+  Record[5] = static_cast<unsigned char>(
+      (static_cast<unsigned>(Access.Kind) << 4) |
+      static_cast<unsigned>(Access.Source));
+  OS.write(reinterpret_cast<const char *>(Record), sizeof(Record));
+  ++Count;
+}
+
+BinaryTraceReader::BinaryTraceReader(std::istream &Stream) : IS(Stream) {
+  char Magic[4];
+  IS.read(Magic, sizeof(Magic));
+  if (!IS || Magic[0] != BinaryMagic[0] || Magic[1] != BinaryMagic[1] ||
+      Magic[2] != BinaryMagic[2] || Magic[3] != BinaryMagic[3])
+    reportFatalError("binary trace: bad or missing magic");
+}
+
+bool BinaryTraceReader::next(MemAccess &Access) {
+  unsigned char Record[6];
+  IS.read(reinterpret_cast<char *>(Record), sizeof(Record));
+  if (!IS) {
+    if (IS.gcount() != 0)
+      reportFatalError("binary trace: truncated record");
+    return false;
+  }
+  Access.Address = static_cast<Addr>(Record[0]) |
+                   (static_cast<Addr>(Record[1]) << 8) |
+                   (static_cast<Addr>(Record[2]) << 16) |
+                   (static_cast<Addr>(Record[3]) << 24);
+  Access.Size = Record[4];
+  unsigned KindBits = Record[5] >> 4;
+  unsigned SourceBits = Record[5] & 0xF;
+  if (KindBits >= NumAccessKinds || SourceBits >= NumAccessSources)
+    reportFatalError("binary trace: corrupt kind/source byte");
+  Access.Kind = static_cast<AccessKind>(KindBits);
+  Access.Source = static_cast<AccessSource>(SourceBits);
+  return true;
+}
+
+void TextTraceWriter::access(const MemAccess &Access) {
+  char Line[48];
+  std::snprintf(Line, sizeof(Line), "%c %08x %u %s\n", kindChar(Access.Kind),
+                Access.Address, Access.Size, accessSourceName(Access.Source));
+  OS << Line;
+}
+
+bool TextTraceReader::next(MemAccess &Access) {
+  std::string Kind, SourceName;
+  uint64_t Address;
+  unsigned Size;
+  if (!(IS >> Kind))
+    return false;
+  if (!(IS >> std::hex >> Address >> std::dec >> Size >> SourceName))
+    reportFatalError("text trace: truncated record");
+  if (Kind == "R")
+    Access.Kind = AccessKind::Read;
+  else if (Kind == "W")
+    Access.Kind = AccessKind::Write;
+  else
+    reportFatalError("text trace: bad access kind '" + Kind + "'");
+  Access.Address = static_cast<Addr>(Address);
+  Access.Size = static_cast<uint8_t>(Size);
+  if (SourceName == "app")
+    Access.Source = AccessSource::Application;
+  else if (SourceName == "alloc")
+    Access.Source = AccessSource::Allocator;
+  else if (SourceName == "tag")
+    Access.Source = AccessSource::TagEmulation;
+  else
+    reportFatalError("text trace: bad access source '" + SourceName + "'");
+  return true;
+}

@@ -1,0 +1,93 @@
+//===- workload/Driver.cpp - Event execution against an allocator ---------===//
+
+#include "workload/Driver.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace allocsim;
+
+Driver::Driver(Allocator &DriverAlloc, MemoryBus &DriverBus,
+               CostModel &DriverCost, double AppInstrPerRef,
+               uint32_t StackWindow)
+    : Alloc(DriverAlloc), Bus(DriverBus), Cost(DriverCost),
+      InstrPerRef(AppInstrPerRef), StackWindowBytes(StackWindow) {
+  assert(StackWindowBytes >= 64 && (StackWindowBytes & 3) == 0 &&
+         "degenerate stack window");
+}
+
+void Driver::chargeRef() {
+  ++AppRefs;
+  InstrDebt += InstrPerRef;
+  auto Whole = static_cast<uint64_t>(InstrDebt);
+  if (Whole > 0) {
+    Cost.chargeApp(Whole);
+    InstrDebt -= static_cast<double>(Whole);
+  }
+}
+
+void Driver::execute(const AllocEvent &Event) {
+  switch (Event.Kind) {
+  case AllocEventKind::Malloc: {
+    Addr Address = Alloc.malloc(Event.Amount);
+    [[maybe_unused]] bool Inserted =
+        Objects.emplace(Event.Id, ObjectInfo{Address, (Event.Amount + 3) / 4})
+            .second;
+    assert(Inserted && "duplicate object id in event stream");
+    break;
+  }
+  case AllocEventKind::Free: {
+    auto It = Objects.find(Event.Id);
+    if (It == Objects.end())
+      reportFatalError("event stream frees unknown object");
+    Alloc.free(It->second.Address);
+    Objects.erase(It);
+    break;
+  }
+  case AllocEventKind::Touch: {
+    auto It = Objects.find(Event.Id);
+    if (It == Objects.end())
+      reportFatalError("event stream touches unknown object");
+    touchObject(It->second.Address, It->second.Words, Event.Amount,
+                Event.Access);
+    break;
+  }
+  case AllocEventKind::StackTouch:
+    touchStack(Event.Amount, Event.Access);
+    break;
+  }
+}
+
+Addr Driver::addressOf(uint32_t Id) const {
+  auto It = Objects.find(Id);
+  if (It == Objects.end())
+    reportFatalError("addressOf: unknown object id");
+  return It->second.Address;
+}
+
+void Driver::touchObject(Addr Address, uint32_t ObjectWords, uint32_t Words,
+                         AccessKind Kind) {
+  assert(ObjectWords > 0 && "touch of empty object");
+  // Sequential field sweep from the object's start, wrapping for touches
+  // longer than the object.
+  for (uint32_t I = 0; I != Words; ++I) {
+    Addr Word = Address + 4 * (I % ObjectWords);
+    Bus.emit(Word, 4, Kind, AccessSource::Application);
+    chargeRef();
+  }
+}
+
+void Driver::touchStack(uint32_t Words, AccessKind Kind) {
+  // Zig-zag sweep: the push/pop address pattern of call frames.
+  for (uint32_t I = 0; I != Words; ++I) {
+    Bus.emit(StackBase + StackPos, 4, Kind, AccessSource::Application);
+    chargeRef();
+    if (StackPos + 4 >= StackWindowBytes)
+      StackDir = -1;
+    else if (StackPos == 0)
+      StackDir = 1;
+    StackPos = static_cast<uint32_t>(static_cast<int>(StackPos) +
+                                     4 * StackDir);
+  }
+}

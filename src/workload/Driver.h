@@ -1,0 +1,82 @@
+//===- workload/Driver.h - Event execution against an allocator -*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an allocation-event stream against a concrete allocator,
+/// emitting the application's data references onto the memory bus:
+///
+///  * Touch events sweep an object's words sequentially from its start
+///    (wrapping if the touch is longer than the object), the access pattern
+///    of initialization and field traversal.
+///  * Stack touches zig-zag through a small stack segment, modeling the
+///    high-locality non-heap data references that dilute every program's
+///    miss rate.
+///  * Every application reference charges the profile's
+///    instructions-per-reference to the cost model, reproducing the paper's
+///    instruction totals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_WORKLOAD_DRIVER_H
+#define ALLOCSIM_WORKLOAD_DRIVER_H
+
+#include "alloc/Allocator.h"
+#include "trace/AllocEvents.h"
+
+#include <unordered_map>
+
+namespace allocsim {
+
+/// Executes allocation events against an allocator.
+class Driver {
+public:
+  /// \p InstrPerRef is the application's instructions-per-data-reference
+  /// ratio (Table 2); \p StackWindowBytes bounds the simulated stack
+  /// segment's working set.
+  Driver(Allocator &Alloc, MemoryBus &Bus, CostModel &Cost,
+         double InstrPerRef, uint32_t StackWindowBytes = 2048);
+
+  /// Executes one event.
+  void execute(const AllocEvent &Event);
+
+  /// Number of live objects currently tracked.
+  size_t liveObjects() const { return Objects.size(); }
+
+  /// Application data references emitted so far.
+  uint64_t appRefs() const { return AppRefs; }
+
+  /// Looks up the simulated address of a live object (tests/examples).
+  Addr addressOf(uint32_t Id) const;
+
+private:
+  void touchObject(Addr Address, uint32_t ObjectWords, uint32_t Words,
+                   AccessKind Kind);
+  void touchStack(uint32_t Words, AccessKind Kind);
+  void chargeRef();
+
+  struct ObjectInfo {
+    Addr Address;
+    uint32_t Words;
+  };
+
+  Allocator &Alloc;
+  MemoryBus &Bus;
+  CostModel &Cost;
+  double InstrPerRef;
+  double InstrDebt = 0;
+
+  std::unordered_map<uint32_t, ObjectInfo> Objects;
+  uint64_t AppRefs = 0;
+
+  /// Stack zig-zag state.
+  uint32_t StackWindowBytes;
+  uint32_t StackPos = 0;
+  int StackDir = 1;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_WORKLOAD_DRIVER_H

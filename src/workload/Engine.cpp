@@ -1,0 +1,195 @@
+//===- workload/Engine.cpp - Synthetic allocation-event generator ---------===//
+
+#include "workload/Engine.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace allocsim;
+
+namespace {
+
+std::vector<double> binWeights(const AppProfile &Profile) {
+  std::vector<double> Weights;
+  Weights.reserve(Profile.SizeMix.size());
+  for (const SizeBin &Bin : Profile.SizeMix)
+    Weights.push_back(Bin.Weight);
+  return Weights;
+}
+
+uint32_t wordsFor(uint32_t Bytes) { return (Bytes + 3) / 4; }
+
+} // namespace
+
+WorkloadEngine::WorkloadEngine(const AppProfile &AppProf,
+                               EngineOptions EngineOpts)
+    : Profile(AppProf), Options(EngineOpts), BinPicker(binWeights(AppProf)) {
+  assert(Options.Scale >= 1 && "scale must be positive");
+  uint64_t Surviving =
+      Profile.PaperObjectsAllocated - Profile.PaperObjectsFreed;
+  if (Options.ClampScaleForLiveHeap && Surviving > 0) {
+    // Keep enough allocations to build at least half the paper's live heap.
+    auto MaxScale = static_cast<uint32_t>(
+        Profile.PaperObjectsAllocated / (2 * Surviving));
+    if (MaxScale == 0)
+      MaxScale = 1;
+    if (Options.Scale > MaxScale)
+      Options.Scale = MaxScale;
+  }
+  TotalAllocs = Profile.PaperObjectsAllocated / Options.Scale;
+  // End the run with the paper's surviving-object count, so the final live
+  // heap matches the paper's Max Heap column at any scale.
+  TotalFrees = TotalAllocs >= Surviving ? TotalAllocs - Surviving : 0;
+  if (TotalAllocs == 0)
+    reportFatalError("scale too large: no allocations remain");
+
+  // Reference budget per allocation, split so the total matches the
+  // program's paper ratio. Init writes and free-time reads are implied by
+  // the mix; stack gets its profile share; traversal gets the remainder.
+  double RefsPerAlloc = Profile.refsPerAlloc();
+  InitWordsMean = Profile.meanRequestBytes() / 4.0;
+  double FreeReadWords = 2.0 * Profile.freeFraction();
+  StackWordsPerAlloc = RefsPerAlloc * Profile.StackRefShare;
+  TraverseWordsPerAlloc = RefsPerAlloc - InitWordsMean - FreeReadWords -
+                          StackWordsPerAlloc;
+  if (TraverseWordsPerAlloc < 0)
+    TraverseWordsPerAlloc = 0;
+}
+
+uint32_t WorkloadEngine::drawSize(Rng &R) const {
+  const SizeBin &Bin = Profile.SizeMix[BinPicker.sample(R)];
+  if (Bin.Lo == Bin.Hi)
+    return Bin.Lo;
+  uint32_t Step = Bin.step();
+  uint32_t Choices = (Bin.Hi - Bin.Lo) / Step + 1;
+  return Bin.Lo + Step * static_cast<uint32_t>(R.nextBelow(Choices));
+}
+
+Histogram WorkloadEngine::sizeProfile() const {
+  // Sizes come from a dedicated generator, so this profile pass sees
+  // exactly the request stream generate() will produce.
+  Rng SizeRng(Options.Seed ^ SizeStreamSalt);
+  Histogram Sizes;
+  for (uint64_t I = 0; I != TotalAllocs; ++I)
+    Sizes.add(drawSize(SizeRng));
+  return Sizes;
+}
+
+void WorkloadEngine::generate(
+    const std::function<void(const AllocEvent &)> &Sink) {
+  Rng R(Options.Seed);
+  Rng SizeRng(Options.Seed ^ SizeStreamSalt);
+
+  struct LiveObject {
+    uint32_t Id;
+    uint32_t Words;
+  };
+  std::vector<LiveObject> Live;
+  Live.reserve(TotalAllocs - TotalFrees + 1024);
+
+  uint32_t NextId = 1;
+  uint64_t AllocsDone = 0, FreesDone = 0;
+  // Fractional-budget accumulators.
+  double StackDebt = 0, TraverseDebt = 0;
+  // Death-cluster state: a run of allocation-order-adjacent objects being
+  // freed across consecutive due frees.
+  size_t ClusterCursor = 0;
+  size_t ClusterLeft = 0;
+
+  auto PickLiveIndex = [&](double RecentBias, double MeanDepth) -> size_t {
+    assert(!Live.empty() && "no live objects to pick");
+    if (R.nextBool(RecentBias)) {
+      auto Depth = static_cast<size_t>(R.nextExponential(MeanDepth));
+      if (Depth >= Live.size())
+        Depth = Live.size() - 1;
+      return Live.size() - 1 - Depth;
+    }
+    return static_cast<size_t>(R.nextBelow(Live.size()));
+  };
+
+  for (AllocsDone = 1; AllocsDone <= TotalAllocs; ++AllocsDone) {
+    // Allocate and initialize.
+    uint32_t Size = drawSize(SizeRng);
+    uint32_t Id = NextId++;
+    Sink(AllocEvent::makeMalloc(Id, Size));
+    Sink(AllocEvent::makeTouch(Id, wordsFor(Size), AccessKind::Write));
+    Live.push_back({Id, wordsFor(Size)});
+
+    // Paced frees: keep FreesDone ~= AllocsDone * freeFraction so the run
+    // ends with exactly the paper's surviving-object count. Removal is
+    // order-preserving so Live stays in allocation order, which death
+    // clusters rely on for address adjacency.
+    auto FreeAt = [&](size_t Index) {
+      const LiveObject &Object = Live[Index];
+      // Programs typically inspect an object as they release it.
+      Sink(AllocEvent::makeTouch(Object.Id, std::min(Object.Words, 2u),
+                                 AccessKind::Read));
+      Sink(AllocEvent::makeFree(Object.Id));
+      Live.erase(Live.begin() + static_cast<ptrdiff_t>(Index));
+      ++FreesDone;
+    };
+    while ((FreesDone + 1) * TotalAllocs <= AllocsDone * TotalFrees &&
+           !Live.empty()) {
+      if (ClusterLeft > 0 && ClusterCursor < Live.size()) {
+        // Continue the in-progress death cluster: the erase above left the
+        // next adjacent object at the same index.
+        FreeAt(ClusterCursor);
+        --ClusterLeft;
+        continue;
+      }
+      ClusterLeft = 0;
+      if (Live.size() > 8 && R.nextBool(Profile.ClusterDeathProb)) {
+        // A whole structure dies: free a run of adjacent objects.
+        ClusterCursor = static_cast<size_t>(R.nextBelow(Live.size()));
+        auto Length = 4 + static_cast<size_t>(R.nextExponential(12.0));
+        ClusterLeft =
+            std::min(Length, Live.size() - ClusterCursor) - 1;
+        FreeAt(ClusterCursor);
+        continue;
+      }
+      FreeAt(PickLiveIndex(Profile.DieYoungProb, 8.0));
+    }
+
+    // Traversal of live data structures.
+    TraverseDebt += TraverseWordsPerAlloc;
+    while (TraverseDebt >= 1.0 && !Live.empty()) {
+      size_t Index = Live.size() <= Options.HotWindow
+                         ? PickLiveIndex(0.0, 1.0)
+                         : (R.nextBool(Options.HotShare)
+                                ? Live.size() - 1 -
+                                      static_cast<size_t>(
+                                          R.nextBelow(Options.HotWindow))
+                                : static_cast<size_t>(
+                                      R.nextBelow(Live.size())));
+      const LiveObject &Object = Live[Index];
+      uint32_t Words = std::min(Object.Words, Options.MaxTouchWords);
+      if (Words > TraverseDebt)
+        Words = static_cast<uint32_t>(TraverseDebt) + 1;
+      AccessKind Kind = R.nextBool(Profile.TraverseWriteShare)
+                            ? AccessKind::Write
+                            : AccessKind::Read;
+      Sink(AllocEvent::makeTouch(Object.Id, Words, Kind));
+      TraverseDebt -= Words;
+    }
+
+    // Stack/static segment references.
+    StackDebt += StackWordsPerAlloc;
+    if (StackDebt >= 1.0) {
+      auto Words = static_cast<uint32_t>(StackDebt);
+      Sink(AllocEvent::makeStackTouch(
+          Words, R.nextBool(0.4) ? AccessKind::Write : AccessKind::Read));
+      StackDebt -= Words;
+    }
+  }
+
+  assert(FreesDone <= TotalFrees && "freed more than planned");
+}
+
+std::vector<AllocEvent> WorkloadEngine::generateAll() {
+  std::vector<AllocEvent> Events;
+  generate([&](const AllocEvent &Event) { Events.push_back(Event); });
+  return Events;
+}

@@ -1,0 +1,100 @@
+//===- workload/Engine.h - Synthetic allocation-event generator -*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the deterministic allocation-event stream of a profiled
+/// application. The stream depends only on (profile, scale, seed) — never on
+/// the allocator — so all five allocators observe the *identical* request
+/// sequence, the same methodological control the paper got from replaying
+/// one trace per application.
+///
+/// Per allocation the engine emits: the malloc, an initializing write sweep
+/// over the new object, paced frees of earlier objects (biased toward young
+/// objects), read-mostly traversal touches over live objects (split between
+/// a hot recent set and the whole live population), and stack-segment
+/// references — budgeted so the total reference volume matches the paper's
+/// data-references-per-allocation ratio for the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_WORKLOAD_ENGINE_H
+#define ALLOCSIM_WORKLOAD_ENGINE_H
+
+#include "support/Histogram.h"
+#include "support/Rng.h"
+#include "trace/AllocEvents.h"
+#include "workload/Workload.h"
+
+#include <functional>
+
+namespace allocsim {
+
+/// Scaling and tuning knobs for a run.
+struct EngineOptions {
+  /// Divide the paper's allocation count by this factor. The number of
+  /// frees is then chosen so the run still ends with the paper's
+  /// *surviving object count* — the final live heap (the paper's "Max.
+  /// Heap Size") is preserved while the reference volume shrinks by
+  /// 1/Scale. At Scale == 1 this reduces exactly to the paper's totals.
+  uint32_t Scale = 8;
+  /// Clamp Scale so at least half of the paper's surviving objects can be
+  /// reached (programs like PTC that free nothing cannot be scaled without
+  /// shrinking their heap).
+  bool ClampScaleForLiveHeap = true;
+  uint64_t Seed = 0x5EEDBA5E;
+  /// Number of most-recent live objects considered "hot" for traversal.
+  uint32_t HotWindow = 64;
+  /// Probability a traversal touch picks from the hot window.
+  double HotShare = 0.70;
+  /// Longest single-object touch, in words.
+  uint32_t MaxTouchWords = 16;
+};
+
+/// Deterministic event generator for one application profile.
+class WorkloadEngine {
+public:
+  WorkloadEngine(const AppProfile &Profile, EngineOptions Options);
+
+  /// Generates the full event stream, invoking \p Sink for each event.
+  void generate(const std::function<void(const AllocEvent &)> &Sink);
+
+  /// Convenience: generates into a vector (small scales only; the stream
+  /// has roughly 20 events per allocation).
+  std::vector<AllocEvent> generateAll();
+
+  /// The request-size histogram of a generation run with these options —
+  /// the profile pass that feeds CustomAlloc synthesis. Cheap: no touches
+  /// are produced.
+  Histogram sizeProfile() const;
+
+  /// Scaled totals for this run.
+  uint64_t totalAllocations() const { return TotalAllocs; }
+  uint64_t totalFrees() const { return TotalFrees; }
+  /// The scale actually used after clamping.
+  uint32_t effectiveScale() const { return Options.Scale; }
+
+private:
+  /// Request sizes come from a salted, dedicated RNG stream so that
+  /// sizeProfile() reproduces generate()'s request sequence exactly.
+  static constexpr uint64_t SizeStreamSalt = 0x517EC1A5500D5EEDull;
+
+  uint32_t drawSize(Rng &R) const;
+
+  const AppProfile &Profile;
+  EngineOptions Options;
+  DiscreteDistribution BinPicker;
+  uint64_t TotalAllocs;
+  uint64_t TotalFrees;
+
+  /// Per-allocation reference budgets (words).
+  double InitWordsMean;
+  double StackWordsPerAlloc;
+  double TraverseWordsPerAlloc;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_WORKLOAD_ENGINE_H

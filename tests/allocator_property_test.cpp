@@ -1,0 +1,234 @@
+//===- tests/allocator_property_test.cpp - Randomized stress --------------===//
+//
+// Property tests run against every allocator (parameterized): random
+// malloc/free sequences with a host-side shadow model checking the
+// fundamental allocator contract — returned regions are aligned, in-heap,
+// disjoint from all other live regions, and their contents survive
+// arbitrary interleaved allocator activity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/CustomAlloc.h"
+#include "alloc/GnuLocal.h"
+#include "alloc/SizeClassMap.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+using namespace allocsim;
+
+namespace {
+
+/// Allocator variants under property test.
+enum class Variant {
+  FirstFit,
+  GnuGxx,
+  Bsd,
+  GnuLocal,
+  GnuLocalTagged,
+  QuickFit,
+  Custom,
+};
+
+std::string variantName(const testing::TestParamInfo<Variant> &Info) {
+  switch (Info.param) {
+  case Variant::FirstFit:
+    return "FirstFit";
+  case Variant::GnuGxx:
+    return "GnuGxx";
+  case Variant::Bsd:
+    return "Bsd";
+  case Variant::GnuLocal:
+    return "GnuLocal";
+  case Variant::GnuLocalTagged:
+    return "GnuLocalTagged";
+  case Variant::QuickFit:
+    return "QuickFit";
+  case Variant::Custom:
+    return "Custom";
+  }
+  return "?";
+}
+
+class AllocatorPropertyTest : public testing::TestWithParam<Variant> {
+protected:
+  void SetUp() override {
+    Heap = std::make_unique<SimHeap>(Bus);
+    switch (GetParam()) {
+    case Variant::FirstFit:
+      Alloc = createAllocator(AllocatorKind::FirstFit, *Heap, Cost);
+      break;
+    case Variant::GnuGxx:
+      Alloc = createAllocator(AllocatorKind::GnuGxx, *Heap, Cost);
+      break;
+    case Variant::Bsd:
+      Alloc = createAllocator(AllocatorKind::Bsd, *Heap, Cost);
+      break;
+    case Variant::GnuLocal:
+      Alloc = std::make_unique<GnuLocal>(*Heap, Cost, false);
+      break;
+    case Variant::GnuLocalTagged:
+      Alloc = std::make_unique<GnuLocal>(*Heap, Cost, true);
+      break;
+    case Variant::QuickFit:
+      Alloc = createAllocator(AllocatorKind::QuickFit, *Heap, Cost);
+      break;
+    case Variant::Custom: {
+      Histogram Profile;
+      for (uint64_t Size : {8, 16, 24, 32, 48, 64, 120, 256})
+        Profile.add(Size, 100);
+      Alloc = std::make_unique<CustomAlloc>(
+          *Heap, Cost, SizeClassMap::fromProfile(Profile, 8, 512));
+      break;
+    }
+    }
+  }
+
+  MemoryBus Bus;
+  std::unique_ptr<SimHeap> Heap;
+  CostModel Cost;
+  std::unique_ptr<Allocator> Alloc;
+};
+
+/// Shadow record of one live object.
+struct Shadow {
+  uint32_t Size;
+  uint32_t Seed;
+};
+
+uint32_t fillWord(Addr Ptr, uint32_t Index, uint32_t Seed) {
+  return (Ptr ^ Seed) + Index * 2654435761u;
+}
+
+} // namespace
+
+TEST_P(AllocatorPropertyTest, RandomStressPreservesContract) {
+  Rng R(0xC0FFEE);
+  std::map<Addr, Shadow> Live;
+
+  auto CheckDisjoint = [&](Addr Ptr, uint32_t Size) {
+    auto Next = Live.lower_bound(Ptr);
+    if (Next != Live.end()) {
+      ASSERT_LE(Ptr + Size, Next->first) << "overlaps following object";
+    }
+    if (Next != Live.begin()) {
+      auto Prev = std::prev(Next);
+      ASSERT_LE(Prev->first + Prev->second.Size, Ptr)
+          << "overlaps preceding object";
+    }
+  };
+
+  constexpr int Operations = 4000;
+  for (int Op = 0; Op != Operations; ++Op) {
+    bool DoFree = !Live.empty() && (Live.size() > 300 || R.nextBool(0.45));
+    if (!DoFree) {
+      // Size mix: mostly small, occasionally multi-page.
+      uint32_t Size;
+      if (R.nextBool(0.85))
+        Size = 4 + 4 * static_cast<uint32_t>(R.nextBelow(64));
+      else
+        Size = 256 + static_cast<uint32_t>(R.nextBelow(12000));
+      Addr Ptr = Alloc->malloc(Size);
+
+      ASSERT_NE(Ptr, 0u);
+      ASSERT_EQ(Ptr % 4, 0u) << "misaligned object";
+      ASSERT_TRUE(Heap->contains(Ptr, Size)) << "object outside heap";
+      CheckDisjoint(Ptr, Size);
+
+      auto Seed = static_cast<uint32_t>(R.next());
+      for (uint32_t I = 0; I * 4 + 4 <= Size; ++I)
+        Heap->poke32(Ptr + 4 * I, fillWord(Ptr, I, Seed));
+      Live[Ptr] = Shadow{Size, Seed};
+    } else {
+      // Free a pseudo-random victim and verify its bytes first.
+      auto It = Live.begin();
+      std::advance(It, static_cast<long>(R.nextBelow(Live.size())));
+      auto [Ptr, Info] = *It;
+      for (uint32_t I = 0; I * 4 + 4 <= Info.Size; ++I)
+        ASSERT_EQ(Heap->peek32(Ptr + 4 * I), fillWord(Ptr, I, Info.Seed))
+            << "corruption in object at +" << 4 * I;
+      Alloc->free(Ptr);
+      Live.erase(It);
+    }
+  }
+
+  // Verify and release every survivor.
+  while (!Live.empty()) {
+    auto [Ptr, Info] = *Live.begin();
+    for (uint32_t I = 0; I * 4 + 4 <= Info.Size; ++I)
+      ASSERT_EQ(Heap->peek32(Ptr + 4 * I), fillWord(Ptr, I, Info.Seed));
+    Alloc->free(Ptr);
+    Live.erase(Live.begin());
+  }
+  EXPECT_EQ(Alloc->stats().LiveBytes, 0u);
+}
+
+TEST_P(AllocatorPropertyTest, FullChurnDoesNotLeakUnboundedly) {
+  // Allocating and freeing the same working set repeatedly must reach a
+  // steady heap size: after a warm-up round, the heap stops growing by
+  // more than a small slack (allocators may defer reuse across classes).
+  Rng R(0xFEED);
+  std::vector<uint32_t> Sizes;
+  for (int I = 0; I < 120; ++I)
+    Sizes.push_back(4 + 4 * static_cast<uint32_t>(R.nextBelow(100)));
+
+  auto OneRound = [&] {
+    std::vector<Addr> Ptrs;
+    Ptrs.reserve(Sizes.size());
+    for (uint32_t Size : Sizes)
+      Ptrs.push_back(Alloc->malloc(Size));
+    for (Addr Ptr : Ptrs)
+      Alloc->free(Ptr);
+  };
+
+  for (int Warmup = 0; Warmup < 3; ++Warmup)
+    OneRound();
+  uint32_t HeapAfterWarmup = Alloc->heapBytes();
+  for (int Round = 0; Round < 25; ++Round)
+    OneRound();
+  EXPECT_LE(Alloc->heapBytes(), HeapAfterWarmup + 8192)
+      << "steady-state churn must not keep growing the heap";
+}
+
+TEST_P(AllocatorPropertyTest, LifoPairsReuseMemory) {
+  // malloc/free pairs of one size must settle into reusing one region —
+  // the paper's "rapid object re-use" property (trivially true even for
+  // the sequential-fit allocators).
+  Addr First = Alloc->malloc(48);
+  Alloc->free(First);
+  for (int I = 0; I < 50; ++I) {
+    Addr Ptr = Alloc->malloc(48);
+    EXPECT_EQ(Ptr, First) << "iteration " << I;
+    Alloc->free(Ptr);
+  }
+}
+
+TEST_P(AllocatorPropertyTest, ManySizesAlignAndDisjoint) {
+  // Sweep every size 1..600: alignment and pairwise disjointness.
+  std::map<Addr, uint32_t> Regions;
+  for (uint32_t Size = 1; Size <= 600; ++Size) {
+    Addr Ptr = Alloc->malloc(Size);
+    ASSERT_EQ(Ptr % 4, 0u);
+    auto Next = Regions.lower_bound(Ptr);
+    if (Next != Regions.end()) {
+      ASSERT_LE(Ptr + Size, Next->first);
+    }
+    if (Next != Regions.begin()) {
+      auto Prev = std::prev(Next);
+      ASSERT_LE(Prev->first + Prev->second, Ptr);
+    }
+    Regions[Ptr] = Size;
+  }
+  for (const auto &[Ptr, Size] : Regions)
+    Alloc->free(Ptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAllocators, AllocatorPropertyTest,
+                         testing::Values(Variant::FirstFit, Variant::GnuGxx,
+                                         Variant::Bsd, Variant::GnuLocal,
+                                         Variant::GnuLocalTagged,
+                                         Variant::QuickFit, Variant::Custom),
+                         variantName);

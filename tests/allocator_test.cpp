@@ -1,0 +1,531 @@
+//===- tests/allocator_test.cpp - Per-allocator behavioral tests ----------===//
+
+#include "alloc/Bsd.h"
+#include "alloc/CustomAlloc.h"
+#include "alloc/FirstFit.h"
+#include "alloc/GnuGxx.h"
+#include "alloc/GnuLocal.h"
+#include "alloc/QuickFit.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace allocsim;
+
+namespace {
+
+struct Harness {
+  MemoryBus Bus;
+  SimHeap Heap{Bus};
+  CostModel Cost;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Factory and naming
+//===----------------------------------------------------------------------===//
+
+TEST(AllocatorFactoryTest, CreatesEveryPaperAllocator) {
+  for (AllocatorKind Kind : PaperAllocators) {
+    Harness H;
+    std::unique_ptr<Allocator> Alloc = createAllocator(Kind, H.Heap, H.Cost);
+    ASSERT_NE(Alloc, nullptr);
+    EXPECT_EQ(Alloc->kind(), Kind);
+    Addr Ptr = Alloc->malloc(24);
+    EXPECT_NE(Ptr, 0u);
+    Alloc->free(Ptr);
+  }
+}
+
+TEST(AllocatorFactoryTest, NamesRoundTrip) {
+  for (AllocatorKind Kind : PaperAllocators)
+    EXPECT_EQ(parseAllocatorKind(allocatorKindName(Kind)), Kind);
+  EXPECT_EQ(parseAllocatorKind("bsd"), AllocatorKind::Bsd);
+  EXPECT_EQ(parseAllocatorKind("first-fit"), AllocatorKind::FirstFit);
+}
+
+//===----------------------------------------------------------------------===//
+// FirstFit
+//===----------------------------------------------------------------------===//
+
+TEST(FirstFitTest, ReturnsAlignedDistinctRegions) {
+  Harness H;
+  FirstFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(10);
+  Addr B = Alloc.malloc(10);
+  EXPECT_EQ(A % 4, 0u);
+  EXPECT_EQ(B % 4, 0u);
+  EXPECT_TRUE(B >= A + 12 || A >= B + 12) << "objects overlap";
+}
+
+TEST(FirstFitTest, DataSurvivesOtherOperations) {
+  Harness H;
+  FirstFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(16);
+  for (int I = 0; I < 4; ++I)
+    H.Heap.poke32(A + 4 * I, 0xA0B0C0D0 + I);
+  Addr B = Alloc.malloc(64);
+  Alloc.free(B);
+  Alloc.malloc(8);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(H.Heap.peek32(A + 4 * I), 0xA0B0C0D0u + I);
+}
+
+TEST(FirstFitTest, CoalescingRebuildsLargeBlock) {
+  Harness H;
+  FirstFit Alloc(H.Heap, H.Cost);
+  // Carve three adjacent objects out of one sbrk chunk, free them in an
+  // order that exercises next- and prev-coalescing, then reallocate the
+  // combined space without heap growth.
+  Addr A = Alloc.malloc(1000);
+  Addr B = Alloc.malloc(1000);
+  Addr C = Alloc.malloc(1000);
+  EXPECT_EQ(B, A + 1008) << "expected adjacent carving";
+  EXPECT_EQ(C, B + 1008);
+  uint32_t HeapBefore = Alloc.heapBytes();
+  Alloc.free(A);
+  Alloc.free(C);
+  Alloc.free(B); // merges with both neighbors
+  Addr Big = Alloc.malloc(3000);
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore) << "coalescing failed";
+  EXPECT_EQ(Big, A);
+}
+
+TEST(FirstFitTest, FreeingEverythingAllowsFullReuse) {
+  Harness H;
+  FirstFit Alloc(H.Heap, H.Cost);
+  std::vector<Addr> Ptrs;
+  for (int I = 0; I < 32; ++I)
+    Ptrs.push_back(Alloc.malloc(100));
+  uint32_t HeapBefore = Alloc.heapBytes();
+  for (Addr Ptr : Ptrs)
+    Alloc.free(Ptr);
+  for (int I = 0; I < 32; ++I)
+    Alloc.malloc(100);
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore)
+      << "reallocation of identical sizes must not grow the heap";
+}
+
+TEST(FirstFitTest, SplitsLargeBlocksForSmallRequests) {
+  Harness H;
+  FirstFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(2048);
+  Alloc.free(A);
+  Addr B = Alloc.malloc(16);
+  Addr C = Alloc.malloc(16);
+  EXPECT_EQ(B, A) << "first fit must reuse the hole's start";
+  EXPECT_GT(C, B);
+  EXPECT_LT(C, A + 2056) << "second allocation must come from the split";
+}
+
+TEST(FirstFitTest, ScanTelemetryGrowsWithSearch) {
+  Harness H;
+  FirstFit Alloc(H.Heap, H.Cost);
+  std::vector<Addr> Small;
+  for (int I = 0; I < 16; ++I)
+    Small.push_back(Alloc.malloc(16));
+  Addr Big = Alloc.malloc(4000);
+  // Free the small blocks (interleaved with live ones they cannot merge
+  // into a big block) and the big one; then allocating big again must scan
+  // past the small remnants.
+  for (size_t I = 0; I < Small.size(); I += 2)
+    Alloc.free(Small[I]);
+  Alloc.free(Big);
+  uint64_t Before = Alloc.blocksSearched();
+  Alloc.malloc(4000);
+  EXPECT_GT(Alloc.blocksSearched(), Before);
+}
+
+TEST(FirstFitTest, BoundaryTagOverheadIsEightBytes) {
+  Harness H;
+  FirstFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(24);
+  // Header directly before the object, footer right after it.
+  EXPECT_EQ(H.Heap.peek32(A - 4), 32u | 1u);
+  EXPECT_EQ(H.Heap.peek32(A + 24), 32u | 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// GnuGxx
+//===----------------------------------------------------------------------===//
+
+TEST(GnuGxxTest, BasicAllocFree) {
+  Harness H;
+  GnuGxx Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(40);
+  Addr B = Alloc.malloc(4000);
+  Addr C = Alloc.malloc(12);
+  EXPECT_NE(A, 0u);
+  Alloc.free(B);
+  Alloc.free(A);
+  Alloc.free(C);
+  EXPECT_EQ(Alloc.stats().LiveBytes, 0u);
+}
+
+TEST(GnuGxxTest, ExactSizeReuseIsImmediate) {
+  Harness H;
+  GnuGxx Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(48);
+  Alloc.malloc(48); // keep the region warm / non-trivial
+  Alloc.free(A);
+  Addr C = Alloc.malloc(48);
+  EXPECT_EQ(C, A) << "LIFO bin must return the just-freed block";
+}
+
+TEST(GnuGxxTest, CoalescesAcrossBins) {
+  Harness H;
+  GnuGxx Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(500);
+  Addr B = Alloc.malloc(500);
+  Addr C = Alloc.malloc(500);
+  (void)B;
+  uint32_t HeapBefore = Alloc.heapBytes();
+  Alloc.free(A);
+  Alloc.free(B);
+  Alloc.free(C);
+  // The three 508-byte blocks merged into one >1500-byte block.
+  Alloc.malloc(1500);
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore);
+}
+
+TEST(GnuGxxTest, SearchesHigherBinsWhenOwnBinEmpty) {
+  Harness H;
+  GnuGxx Alloc(H.Heap, H.Cost);
+  Addr Big = Alloc.malloc(2048);
+  Alloc.free(Big);
+  // A small request must be served by splitting the big free block (which
+  // is in a higher bin), not by growing the heap.
+  uint32_t HeapBefore = Alloc.heapBytes();
+  Addr Small = Alloc.malloc(24);
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore);
+  EXPECT_EQ(Small, Big);
+}
+
+//===----------------------------------------------------------------------===//
+// BSD (Kingsley)
+//===----------------------------------------------------------------------===//
+
+TEST(BsdTest, BucketForRoundsUpIncludingHeader) {
+  EXPECT_EQ(Bsd::bucketFor(1), 0u);   // 1+4 <= 16
+  EXPECT_EQ(Bsd::bucketFor(12), 0u);  // 12+4 = 16
+  EXPECT_EQ(Bsd::bucketFor(13), 1u);  // 13+4 = 17 -> 32
+  EXPECT_EQ(Bsd::bucketFor(28), 1u);
+  EXPECT_EQ(Bsd::bucketFor(29), 2u);  // -> 64
+  EXPECT_EQ(Bsd::bucketFor(4092), 8u);
+  EXPECT_EQ(Bsd::bucketFor(4093), 9u);
+}
+
+TEST(BsdTest, LifoReuseOfExactBlock) {
+  Harness H;
+  Bsd Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(24);
+  Alloc.free(A);
+  Addr B = Alloc.malloc(20); // same bucket (32 bytes)
+  EXPECT_EQ(B, A) << "freelist must hand back the most recently freed";
+}
+
+TEST(BsdTest, NeverCoalescesOrSplits) {
+  Harness H;
+  Bsd Alloc(H.Heap, H.Cost);
+  // Fill one page-bucket, free everything, allocate a larger class: the
+  // freed small blocks must NOT be used for it.
+  std::vector<Addr> Small;
+  for (int I = 0; I < 10; ++I)
+    Small.push_back(Alloc.malloc(24));
+  for (Addr Ptr : Small)
+    Alloc.free(Ptr);
+  uint32_t HeapBefore = Alloc.heapBytes();
+  Alloc.malloc(100);
+  EXPECT_GT(Alloc.heapBytes(), HeapBefore)
+      << "a different size class must trigger fresh carving";
+}
+
+TEST(BsdTest, PageCarvingChainsWholePage) {
+  Harness H;
+  Bsd Alloc(H.Heap, H.Cost);
+  uint32_t HeapBefore = Alloc.heapBytes();
+  // First 32-byte-class allocation carves a full page into 128 blocks...
+  Addr First = Alloc.malloc(24);
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore + 4096);
+  // ...so the next 127 come with no further sbrk, at ascending addresses.
+  Addr Prev = First;
+  for (int I = 1; I < 128; ++I) {
+    Addr Next = Alloc.malloc(24);
+    EXPECT_EQ(Next, Prev + 32);
+    Prev = Next;
+  }
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore + 4096);
+  Alloc.malloc(24);
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore + 8192);
+}
+
+TEST(BsdTest, InternalFragmentationNearlyDoublesSpace) {
+  Harness H;
+  Bsd Alloc(H.Heap, H.Cost);
+  // 36-byte objects occupy 64-byte blocks: > 43% waste, the paper's
+  // complaint about BSD.
+  for (int I = 0; I < 64; ++I)
+    Alloc.malloc(36);
+  EXPECT_GE(Alloc.heapBytes(), 64u * 64u);
+}
+
+TEST(BsdTest, LargeObjects) {
+  Harness H;
+  Bsd Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(100000);
+  H.Heap.poke32(A, 1);
+  H.Heap.poke32(A + 99996, 2);
+  Alloc.free(A);
+  Addr B = Alloc.malloc(100000);
+  EXPECT_EQ(B, A);
+}
+
+//===----------------------------------------------------------------------===//
+// QuickFit
+//===----------------------------------------------------------------------===//
+
+TEST(QuickFitTest, FastPathServesSmallSizes) {
+  Harness H;
+  QuickFit Alloc(H.Heap, H.Cost);
+  for (uint32_t Size : {1u, 4u, 5u, 8u, 17u, 32u})
+    EXPECT_NE(Alloc.malloc(Size), 0u);
+  EXPECT_EQ(Alloc.fastMallocs(), 6u);
+  EXPECT_EQ(Alloc.slowMallocs(), 0u);
+}
+
+TEST(QuickFitTest, LargeRequestsDelegate) {
+  Harness H;
+  QuickFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(33);
+  EXPECT_EQ(Alloc.slowMallocs(), 1u);
+  Alloc.free(A); // must route to the general allocator, not a fast list
+  Addr B = Alloc.malloc(33);
+  EXPECT_EQ(B, A) << "general allocator should reuse the freed block";
+}
+
+TEST(QuickFitTest, ExactLifoReuse) {
+  Harness H;
+  QuickFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(24);
+  Alloc.malloc(24);
+  Alloc.free(A);
+  EXPECT_EQ(Alloc.malloc(24), A);
+}
+
+TEST(QuickFitTest, DistinctClassesDoNotMix) {
+  Harness H;
+  QuickFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(8);
+  Alloc.free(A);
+  // A 24-byte request must not reuse the freed 8-byte block.
+  Addr B = Alloc.malloc(24);
+  EXPECT_NE(B, A);
+  // But another 8-byte request must.
+  EXPECT_EQ(Alloc.malloc(8), A);
+}
+
+TEST(QuickFitTest, TailCarvingIsContiguous) {
+  Harness H;
+  QuickFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(16);
+  Addr B = Alloc.malloc(16);
+  EXPECT_EQ(B, A + 20) << "tail bump: header word + 16-byte payload apart";
+}
+
+TEST(QuickFitTest, FreeListsNeverCoalesce) {
+  Harness H;
+  QuickFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(16);
+  Addr B = Alloc.malloc(16);
+  Alloc.free(A);
+  Alloc.free(B);
+  // 32-byte request: adjacent free 16-byte fast blocks must NOT merge.
+  Addr C = Alloc.malloc(32);
+  EXPECT_NE(C, A);
+}
+
+//===----------------------------------------------------------------------===//
+// GnuLocal (Haertel)
+//===----------------------------------------------------------------------===//
+
+TEST(GnuLocalTest, FragmentsArePowerOfTwoAlignedWithinBlock) {
+  Harness H;
+  GnuLocal Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(24); // 32-byte fragment class
+  Addr B = Alloc.malloc(24);
+  EXPECT_EQ(A % 32, 0u);
+  EXPECT_EQ(B % 32, 0u);
+  EXPECT_EQ(A >> 12, B >> 12) << "same-class fragments share a block";
+}
+
+TEST(GnuLocalTest, NoPerObjectHeaders) {
+  Harness H;
+  GnuLocal Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(32); // exactly a 32-byte fragment
+  Addr B = Alloc.malloc(32);
+  // Objects are exactly fragment-size apart: zero per-object overhead.
+  EXPECT_EQ(B, A + 32) << "adjacent fragments within the fresh block";
+}
+
+TEST(GnuLocalTest, LifoFragmentReuse) {
+  Harness H;
+  GnuLocal Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(40); // 64-byte class
+  Alloc.malloc(40);
+  Alloc.free(A);
+  EXPECT_EQ(Alloc.malloc(40), A);
+}
+
+TEST(GnuLocalTest, WholeBlockReclaimedWhenAllFragmentsFree) {
+  Harness H;
+  GnuLocal Alloc(H.Heap, H.Cost);
+  std::vector<Addr> Frags;
+  for (int I = 0; I < 8; ++I)
+    Frags.push_back(Alloc.malloc(512)); // 8 x 512 = one full block
+  EXPECT_EQ(Alloc.blocksReclaimed(), 0u);
+  for (Addr Ptr : Frags)
+    Alloc.free(Ptr);
+  EXPECT_EQ(Alloc.blocksReclaimed(), 1u);
+  // The reclaimed block must be reusable for a large allocation.
+  uint32_t HeapBefore = Alloc.heapBytes();
+  Alloc.malloc(4096);
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore);
+}
+
+TEST(GnuLocalTest, LargeAllocationsAreBlockAligned) {
+  Harness H;
+  GnuLocal Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(5000); // 2 blocks
+  EXPECT_EQ((A - H.Heap.base()) % 4096, 0u);
+  H.Heap.poke32(A + 4996, 42);
+  EXPECT_EQ(H.Heap.peek32(A + 4996), 42u);
+}
+
+TEST(GnuLocalTest, AdjacentFreeRunsCoalesce) {
+  Harness H;
+  GnuLocal Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(4096);
+  Addr B = Alloc.malloc(4096);
+  Addr C = Alloc.malloc(4096);
+  EXPECT_EQ(B, A + 4096);
+  EXPECT_EQ(C, B + 4096);
+  Alloc.free(A);
+  Alloc.free(C);
+  Alloc.free(B);
+  uint32_t HeapBefore = Alloc.heapBytes();
+  Addr Big = Alloc.malloc(3 * 4096);
+  EXPECT_EQ(Big, A) << "coalesced run must be reused in place";
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore);
+}
+
+TEST(GnuLocalTest, RunSplitTakesFront) {
+  Harness H;
+  GnuLocal Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(4 * 4096);
+  Alloc.free(A);
+  Addr B = Alloc.malloc(4096);
+  EXPECT_EQ(B, A);
+  Addr C = Alloc.malloc(4096);
+  EXPECT_EQ(C, A + 4096);
+}
+
+TEST(GnuLocalTest, DescriptorTableGrowsWithHeap) {
+  Harness H;
+  GnuLocal Alloc(H.Heap, H.Cost);
+  // Allocate far more blocks than the initial table covers (64+).
+  std::vector<Addr> Blocks;
+  for (int I = 0; I < 300; ++I)
+    Blocks.push_back(Alloc.malloc(4096));
+  // Everything must still free and coalesce correctly afterwards.
+  for (Addr Ptr : Blocks)
+    Alloc.free(Ptr);
+  uint32_t HeapBefore = Alloc.heapBytes();
+  Alloc.malloc(100 * 4096);
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore)
+      << "freed runs must satisfy a large allocation after table growth";
+}
+
+TEST(GnuLocalTest, TaggedVariantAddsTagTraffic) {
+  Harness HPlain, HTagged;
+  GnuLocal Plain(HPlain.Heap, HPlain.Cost, /*EmulateBoundaryTags=*/false);
+  GnuLocal Tagged(HTagged.Heap, HTagged.Cost, /*EmulateBoundaryTags=*/true);
+  EXPECT_FALSE(Plain.emulatesBoundaryTags());
+  EXPECT_TRUE(Tagged.emulatesBoundaryTags());
+
+  Addr A = Plain.malloc(24);
+  Addr B = Tagged.malloc(24);
+  Plain.free(A);
+  Tagged.free(B);
+
+  EXPECT_EQ(HPlain.Bus.accessesFrom(AccessSource::TagEmulation), 0u);
+  EXPECT_EQ(HTagged.Bus.accessesFrom(AccessSource::TagEmulation), 4u)
+      << "two tag writes on malloc, two tag reads on free";
+}
+
+TEST(GnuLocalTest, TaggedVariantUsesMoreSpacePerObject) {
+  Harness HPlain, HTagged;
+  GnuLocal Plain(HPlain.Heap, HPlain.Cost, false);
+  GnuLocal Tagged(HTagged.Heap, HTagged.Cost, true);
+  // 32-byte requests: plain uses 32-byte fragments; tagged needs 40 -> 64.
+  for (int I = 0; I < 512; ++I) {
+    Plain.malloc(32);
+    Tagged.malloc(32);
+  }
+  EXPECT_GT(Tagged.heapBytes(), Plain.heapBytes());
+}
+
+//===----------------------------------------------------------------------===//
+// Shared stats behavior
+//===----------------------------------------------------------------------===//
+
+TEST(AllocatorStatsTest, TracksCallsAndLiveBytes) {
+  for (AllocatorKind Kind : PaperAllocators) {
+    Harness H;
+    std::unique_ptr<Allocator> Alloc = createAllocator(Kind, H.Heap, H.Cost);
+    Addr A = Alloc->malloc(100);
+    Addr B = Alloc->malloc(50);
+    EXPECT_EQ(Alloc->stats().MallocCalls, 2u);
+    EXPECT_EQ(Alloc->stats().LiveBytes, 150u);
+    EXPECT_EQ(Alloc->stats().MaxLiveBytes, 150u);
+    EXPECT_EQ(Alloc->objectSize(A), 100u);
+    Alloc->free(A);
+    EXPECT_EQ(Alloc->stats().LiveBytes, 50u);
+    EXPECT_EQ(Alloc->stats().MaxLiveBytes, 150u);
+    Alloc->free(B);
+    EXPECT_EQ(Alloc->stats().FreeCalls, 2u);
+    EXPECT_EQ(Alloc->stats().BytesRequested, 150u);
+  }
+}
+
+TEST(AllocatorStatsTest, DoubleFreeIsFatal) {
+  Harness H;
+  Bsd Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(8);
+  Alloc.free(A);
+  EXPECT_DEATH(Alloc.free(A), "unknown or already-freed");
+}
+
+TEST(AllocatorStatsTest, AllAllocatorReferencesAreTaggedAllocator) {
+  for (AllocatorKind Kind : PaperAllocators) {
+    Harness H;
+    std::unique_ptr<Allocator> Alloc = createAllocator(Kind, H.Heap, H.Cost);
+    Addr A = Alloc->malloc(100);
+    Alloc->free(A);
+    EXPECT_GT(H.Bus.accessesFrom(AccessSource::Allocator), 0u)
+        << allocatorKindName(Kind);
+    EXPECT_EQ(H.Bus.accessesFrom(AccessSource::Application), 0u)
+        << allocatorKindName(Kind);
+  }
+}
+
+TEST(AllocatorStatsTest, AllocatorChargesInstructions) {
+  for (AllocatorKind Kind : PaperAllocators) {
+    Harness H;
+    std::unique_ptr<Allocator> Alloc = createAllocator(Kind, H.Heap, H.Cost);
+    Alloc->free(Alloc->malloc(24));
+    EXPECT_GT(H.Cost.allocInstructions(), 0u) << allocatorKindName(Kind);
+    EXPECT_EQ(H.Cost.appInstructions(), 0u);
+  }
+}

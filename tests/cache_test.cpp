@@ -1,0 +1,218 @@
+//===- tests/cache_test.cpp - Cache simulator tests -----------------------===//
+
+#include "cache/CacheSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace allocsim;
+
+namespace {
+
+MemAccess read4(Addr Address,
+                AccessSource Source = AccessSource::Application) {
+  return {Address, 4, AccessKind::Read, Source};
+}
+
+} // namespace
+
+TEST(CacheConfigTest, Validity) {
+  EXPECT_TRUE((CacheConfig{16 * 1024, 32, 1}).valid());
+  EXPECT_TRUE((CacheConfig{64 * 1024, 32, 4}).valid());
+  EXPECT_FALSE((CacheConfig{1000, 32, 1}).valid());   // not a power of two
+  EXPECT_FALSE((CacheConfig{16 * 1024, 24, 1}).valid());
+  EXPECT_FALSE((CacheConfig{32, 32, 2}).valid());     // assoc > blocks
+}
+
+TEST(CacheConfigTest, Geometry) {
+  CacheConfig Config{16 * 1024, 32, 1};
+  EXPECT_EQ(Config.numBlocks(), 512u);
+  EXPECT_EQ(Config.numSets(), 512u);
+  CacheConfig Assoc{16 * 1024, 32, 4};
+  EXPECT_EQ(Assoc.numSets(), 128u);
+}
+
+TEST(DirectMappedCacheTest, ColdMissThenHit) {
+  DirectMappedCache Cache({1024, 32, 1});
+  Cache.access(read4(0x1000));
+  Cache.access(read4(0x1000));
+  Cache.access(read4(0x1004)); // same 32-byte block
+  EXPECT_EQ(Cache.stats().Accesses, 3u);
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+}
+
+TEST(DirectMappedCacheTest, ConflictEviction) {
+  // 1024-byte cache: addresses 1024 apart map to the same set.
+  DirectMappedCache Cache({1024, 32, 1});
+  Cache.access(read4(0x0000));
+  Cache.access(read4(0x0400)); // evicts 0x0000
+  Cache.access(read4(0x0000)); // misses again
+  EXPECT_EQ(Cache.stats().Misses, 3u);
+}
+
+TEST(DirectMappedCacheTest, DistinctSetsDoNotConflict) {
+  DirectMappedCache Cache({1024, 32, 1});
+  for (Addr A = 0; A < 1024; A += 32)
+    Cache.access(read4(A));
+  for (Addr A = 0; A < 1024; A += 32)
+    Cache.access(read4(A));
+  EXPECT_EQ(Cache.stats().Misses, 32u) << "second sweep must fully hit";
+}
+
+TEST(DirectMappedCacheTest, StraddlingAccessTouchesTwoBlocks) {
+  DirectMappedCache Cache({1024, 32, 1});
+  Cache.access({0x1e, 4, AccessKind::Read, AccessSource::Application});
+  EXPECT_EQ(Cache.stats().Accesses, 2u);
+  EXPECT_EQ(Cache.stats().Misses, 2u);
+}
+
+TEST(DirectMappedCacheTest, WriteAllocates) {
+  DirectMappedCache Cache({1024, 32, 1});
+  Cache.access({0x40, 4, AccessKind::Write, AccessSource::Application});
+  Cache.access(read4(0x44));
+  EXPECT_EQ(Cache.stats().Misses, 1u) << "write must install the block";
+}
+
+TEST(DirectMappedCacheTest, PerSourceAttribution) {
+  DirectMappedCache Cache({1024, 32, 1});
+  Cache.access(read4(0x000, AccessSource::Application));
+  Cache.access(read4(0x400, AccessSource::Allocator)); // evicts
+  Cache.access(read4(0x000, AccessSource::Application));
+  EXPECT_EQ(Cache.stats().accessesFrom(AccessSource::Application), 2u);
+  EXPECT_EQ(Cache.stats().missesFrom(AccessSource::Application), 2u);
+  EXPECT_EQ(Cache.stats().missesFrom(AccessSource::Allocator), 1u);
+}
+
+TEST(DirectMappedCacheTest, ResetClears) {
+  DirectMappedCache Cache({1024, 32, 1});
+  Cache.access(read4(0x0));
+  Cache.reset();
+  EXPECT_EQ(Cache.stats().Accesses, 0u);
+  Cache.access(read4(0x0));
+  EXPECT_EQ(Cache.stats().Misses, 1u) << "contents cleared";
+}
+
+TEST(SetAssocCacheTest, LruKeepsWorkingSetOfAssocSize) {
+  // One-set cache (2 blocks, 2-way): any two blocks co-reside.
+  SetAssocCache Cache({64, 32, 2});
+  Cache.access(read4(0x00));
+  Cache.access(read4(0x40));
+  Cache.access(read4(0x00));
+  Cache.access(read4(0x40));
+  EXPECT_EQ(Cache.stats().Misses, 2u);
+}
+
+TEST(SetAssocCacheTest, LruEvictsLeastRecent) {
+  SetAssocCache Cache({64, 32, 2});
+  Cache.access(read4(0x00)); // miss {00}
+  Cache.access(read4(0x40)); // miss {40,00}
+  Cache.access(read4(0x00)); // hit  {00,40}
+  Cache.access(read4(0x80)); // miss, evicts 0x40 -> {80,00}
+  Cache.access(read4(0x00)); // hit
+  Cache.access(read4(0x40)); // miss
+  EXPECT_EQ(Cache.stats().Misses, 4u);
+}
+
+TEST(SetAssocCacheTest, HigherAssociativityNeverWorseOnSequentialConflict) {
+  // A classic conflict pattern: k+1 blocks mapping to one set of a
+  // direct-mapped cache, reused cyclically.
+  DirectMappedCache Direct({1024, 32, 1});
+  SetAssocCache Assoc({1024, 32, 4});
+  for (int Round = 0; Round < 50; ++Round)
+    for (Addr A : {0x0000u, 0x0400u, 0x0800u})
+      for (auto *Cache : std::initializer_list<CacheSim *>{&Direct, &Assoc})
+        Cache->access(read4(A));
+  EXPECT_LT(Assoc.stats().Misses, Direct.stats().Misses);
+}
+
+TEST(VictimCacheTest, AbsorbsConflictPairThrashing) {
+  // Two blocks aliasing to one set thrash a plain direct-mapped cache but
+  // co-reside once a single victim entry exists (Jouppi's motivating
+  // case).
+  DirectMappedCache Plain({1024, 32, 1});
+  VictimCache Victim({1024, 32, 1}, 1);
+  for (int Round = 0; Round < 50; ++Round)
+    for (Addr A : {0x0000u, 0x0400u})
+      for (CacheSim *Cache :
+           std::initializer_list<CacheSim *>{&Plain, &Victim}) {
+        Cache->access(read4(A));
+      }
+  EXPECT_EQ(Plain.stats().Misses, 100u) << "plain cache must thrash";
+  EXPECT_EQ(Victim.stats().Misses, 2u)
+      << "only the two cold misses; the buffer holds the displaced block "
+         "from the very first conflict";
+  EXPECT_EQ(Victim.victimHits(), 98u);
+}
+
+TEST(VictimCacheTest, BufferIsLru) {
+  // Three aliasing blocks against a 2-entry buffer: the working set fits
+  // (main slot + 2 victims), so after warm-up everything hits.
+  VictimCache Victim({1024, 32, 1}, 2);
+  for (int Round = 0; Round < 20; ++Round)
+    for (Addr A : {0x0000u, 0x0400u, 0x0800u})
+      Victim.access(read4(A));
+  EXPECT_EQ(Victim.stats().Misses, 3u);
+
+  // Four aliasing blocks overflow it: cyclic access misses every time.
+  VictimCache Small({1024, 32, 1}, 2);
+  for (int Round = 0; Round < 20; ++Round)
+    for (Addr A : {0x0000u, 0x0400u, 0x0800u, 0x0c00u})
+      Small.access(read4(A));
+  EXPECT_EQ(Small.stats().Misses, 80u);
+}
+
+TEST(VictimCacheTest, NeverWorseThanPlainDirectMapped) {
+  // Property: on an arbitrary stream, adding a victim buffer can only
+  // remove misses (inclusion of the plain cache's contents).
+  DirectMappedCache Plain({2048, 32, 1});
+  VictimCache Victim({2048, 32, 1}, 4);
+  uint64_t State = 424242;
+  for (int I = 0; I < 50000; ++I) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    Addr A = static_cast<Addr>((State >> 24) & 0xFFFF) * 4;
+    Plain.access(read4(A));
+    Victim.access(read4(A));
+  }
+  EXPECT_LE(Victim.stats().Misses, Plain.stats().Misses);
+  EXPECT_EQ(Victim.stats().Misses + Victim.victimHits(),
+            Plain.stats().Misses)
+      << "every absorbed miss must be a victim hit on this stream";
+}
+
+TEST(CacheBankTest, SimulatesManyGeometriesAtOnce) {
+  CacheBank Bank;
+  size_t Small = Bank.addCache({1024, 32, 1});
+  size_t Large = Bank.addCache({8192, 32, 1});
+  // Working set of 2 KB: thrashes the 1 KB cache, fits the 8 KB one.
+  for (int Round = 0; Round < 20; ++Round)
+    for (Addr A = 0; A < 2048; A += 32)
+      Bank.access(read4(A));
+  EXPECT_GT(Bank.cache(Small).stats().missRate(),
+            Bank.cache(Large).stats().missRate());
+  EXPECT_EQ(Bank.cache(Large).stats().Misses, 64u) << "cold misses only";
+}
+
+TEST(CacheBankTest, PaperSweepShape) {
+  std::vector<CacheConfig> Sweep = paperCacheSweep();
+  ASSERT_EQ(Sweep.size(), 5u);
+  EXPECT_EQ(Sweep.front().SizeBytes, 16u * 1024);
+  EXPECT_EQ(Sweep.back().SizeBytes, 256u * 1024);
+  for (const CacheConfig &Config : Sweep) {
+    EXPECT_EQ(Config.BlockBytes, 32u);
+    EXPECT_EQ(Config.Assoc, 1u);
+    EXPECT_TRUE(Config.valid());
+  }
+}
+
+TEST(CacheBankTest, MissRateMonotoneInCacheSizeForLoopWorkload) {
+  // For a simple looping workload, bigger direct-mapped caches of the same
+  // geometry should not miss more (no pathological aliasing here).
+  CacheBank Bank;
+  for (const CacheConfig &Config : paperCacheSweep())
+    Bank.addCache(Config);
+  for (int Round = 0; Round < 10; ++Round)
+    for (Addr A = 0; A < 96 * 1024; A += 16)
+      Bank.access(read4(0x10000000 + A));
+  for (size_t I = 1; I < Bank.size(); ++I)
+    EXPECT_LE(Bank.cache(I).stats().missRate(),
+              Bank.cache(I - 1).stats().missRate() + 1e-12);
+}

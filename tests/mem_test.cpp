@@ -1,0 +1,132 @@
+//===- tests/mem_test.cpp - SimHeap / MemoryBus tests ---------------------===//
+
+#include "mem/SimHeap.h"
+#include "trace/RefTrace.h"
+
+#include <gtest/gtest.h>
+
+using namespace allocsim;
+
+TEST(MemoryBusTest, CountsBySourceAndKind) {
+  MemoryBus Bus;
+  Bus.emit(0x1000, 4, AccessKind::Read, AccessSource::Application);
+  Bus.emit(0x1004, 4, AccessKind::Write, AccessSource::Allocator);
+  Bus.emit(0x1008, 4, AccessKind::Read, AccessSource::Allocator);
+  Bus.emit(0x100c, 4, AccessKind::Write, AccessSource::TagEmulation);
+
+  EXPECT_EQ(Bus.totalAccesses(), 4u);
+  EXPECT_EQ(Bus.accessesFrom(AccessSource::Application), 1u);
+  EXPECT_EQ(Bus.accessesFrom(AccessSource::Allocator), 2u);
+  EXPECT_EQ(Bus.accessesFrom(AccessSource::TagEmulation), 1u);
+  EXPECT_EQ(Bus.reads(), 2u);
+  EXPECT_EQ(Bus.writes(), 2u);
+}
+
+TEST(MemoryBusTest, FansOutToAllSinks) {
+  MemoryBus Bus;
+  CollectingSink A, B;
+  Bus.attach(&A);
+  Bus.attach(&B);
+  Bus.emit(0x2000, 4, AccessKind::Read, AccessSource::Application);
+  EXPECT_EQ(A.records().size(), 1u);
+  EXPECT_EQ(B.records().size(), 1u);
+  EXPECT_EQ(A.records()[0].Address, 0x2000u);
+}
+
+TEST(MemoryBusTest, DetachStopsDelivery) {
+  MemoryBus Bus;
+  CollectingSink A;
+  Bus.attach(&A);
+  Bus.emit(0x2000, 4, AccessKind::Read, AccessSource::Application);
+  Bus.detach(&A);
+  Bus.emit(0x2004, 4, AccessKind::Read, AccessSource::Application);
+  EXPECT_EQ(A.records().size(), 1u);
+}
+
+TEST(MemoryBusTest, DuplicateAttachDeliversOnce) {
+  MemoryBus Bus;
+  CollectingSink A;
+  Bus.attach(&A);
+  Bus.attach(&A);
+  Bus.emit(0x2000, 4, AccessKind::Read, AccessSource::Application);
+  EXPECT_EQ(A.records().size(), 1u);
+}
+
+TEST(MemoryBusTest, ResetCountersKeepsSinks) {
+  MemoryBus Bus;
+  CollectingSink A;
+  Bus.attach(&A);
+  Bus.emit(0x2000, 4, AccessKind::Read, AccessSource::Application);
+  Bus.resetCounters();
+  EXPECT_EQ(Bus.totalAccesses(), 0u);
+  Bus.emit(0x2004, 4, AccessKind::Read, AccessSource::Application);
+  EXPECT_EQ(A.records().size(), 2u);
+}
+
+TEST(SimHeapTest, SbrkGrowsAndZeroFills) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  EXPECT_EQ(Heap.base(), HeapBase);
+  EXPECT_EQ(Heap.brk(), HeapBase);
+
+  Addr First = Heap.sbrk(64);
+  EXPECT_EQ(First, HeapBase);
+  EXPECT_EQ(Heap.heapBytes(), 64u);
+  for (Addr A = First; A < First + 64; A += 4)
+    EXPECT_EQ(Heap.peek32(A), 0u);
+
+  Addr Second = Heap.sbrk(32);
+  EXPECT_EQ(Second, HeapBase + 64);
+  EXPECT_EQ(Heap.heapBytes(), 96u);
+}
+
+TEST(SimHeapTest, ContainsChecksBounds) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  Heap.sbrk(32);
+  EXPECT_TRUE(Heap.contains(HeapBase, 32));
+  EXPECT_TRUE(Heap.contains(HeapBase + 28, 4));
+  EXPECT_FALSE(Heap.contains(HeapBase + 28, 8));
+  EXPECT_FALSE(Heap.contains(HeapBase - 4, 4));
+}
+
+TEST(SimHeapTest, PokePeekRoundTrip) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  Heap.sbrk(16);
+  Heap.poke32(HeapBase + 8, 0xDEADBEEF);
+  EXPECT_EQ(Heap.peek32(HeapBase + 8), 0xDEADBEEFu);
+  EXPECT_EQ(Bus.totalAccesses(), 0u) << "poke/peek must be untraced";
+}
+
+TEST(SimHeapTest, TracedAccessesEmitOnBus) {
+  MemoryBus Bus;
+  CollectingSink Sink;
+  Bus.attach(&Sink);
+  SimHeap Heap(Bus);
+  Heap.sbrk(16);
+
+  Heap.store32(HeapBase + 4, 77, AccessSource::Allocator);
+  uint32_t Value = Heap.load32(HeapBase + 4, AccessSource::Application);
+  EXPECT_EQ(Value, 77u);
+
+  ASSERT_EQ(Sink.records().size(), 2u);
+  EXPECT_EQ(Sink.records()[0].Kind, AccessKind::Write);
+  EXPECT_EQ(Sink.records()[0].Source, AccessSource::Allocator);
+  EXPECT_EQ(Sink.records()[1].Kind, AccessKind::Read);
+  EXPECT_EQ(Sink.records()[1].Source, AccessSource::Application);
+  EXPECT_EQ(Sink.records()[1].Address, HeapBase + 4);
+}
+
+TEST(SimHeapTest, SbrkPastLimitIsFatal) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus, HeapBase, 4096);
+  Heap.sbrk(4096);
+  EXPECT_DEATH(Heap.sbrk(4), "heap limit");
+}
+
+TEST(SimHeapTest, CustomBase) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus, 0x2000'0000, 1 << 20);
+  EXPECT_EQ(Heap.sbrk(8), 0x2000'0000u);
+}

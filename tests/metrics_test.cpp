@@ -1,0 +1,71 @@
+//===- tests/metrics_test.cpp - Cost model and time estimate tests --------===//
+
+#include "metrics/CostModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace allocsim;
+
+TEST(CostModelTest, SplitsAppAndAllocator) {
+  CostModel Cost;
+  Cost.chargeApp(700);
+  Cost.chargeAlloc(300);
+  EXPECT_EQ(Cost.appInstructions(), 700u);
+  EXPECT_EQ(Cost.allocInstructions(), 300u);
+  EXPECT_EQ(Cost.totalInstructions(), 1000u);
+  EXPECT_DOUBLE_EQ(Cost.allocFraction(), 0.3);
+}
+
+TEST(CostModelTest, EmptyFractionIsZero) {
+  CostModel Cost;
+  EXPECT_DOUBLE_EQ(Cost.allocFraction(), 0.0);
+}
+
+TEST(CostModelTest, ResetClears) {
+  CostModel Cost;
+  Cost.chargeApp(5);
+  Cost.chargeAlloc(5);
+  Cost.reset();
+  EXPECT_EQ(Cost.totalInstructions(), 0u);
+}
+
+TEST(TimeEstimateTest, PaperFormula) {
+  // T = I + (M x P) x D: 1e6 instructions, 5e5 refs at 2% misses and a
+  // 25-cycle penalty -> 1e6 + 0.02 * 25 * 5e5 = 1.25e6 cycles.
+  TimeEstimate Time;
+  Time.Instructions = 1000000;
+  Time.DataRefs = 500000;
+  Time.MissRate = 0.02;
+  Time.MissPenalty = 25;
+  EXPECT_DOUBLE_EQ(Time.missCycles(), 250000.0);
+  EXPECT_DOUBLE_EQ(Time.totalCycles(), 1250000.0);
+}
+
+TEST(TimeEstimateTest, SecondsAtPaperClock) {
+  // The paper's DECstation 5000/120 runs at 25 MHz: 25e6 cycles = 1 s.
+  TimeEstimate Time;
+  Time.Instructions = 25000000;
+  Time.DataRefs = 0;
+  Time.MissRate = 0.0;
+  EXPECT_DOUBLE_EQ(Time.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(Time.missSeconds(), 0.0);
+}
+
+TEST(TimeEstimateTest, PenaltyScalesMissCyclesLinearly) {
+  TimeEstimate Time;
+  Time.Instructions = 0;
+  Time.DataRefs = 1000;
+  Time.MissRate = 0.1;
+  Time.MissPenalty = 25;
+  double At25 = Time.missCycles();
+  Time.MissPenalty = 100;
+  EXPECT_DOUBLE_EQ(Time.missCycles(), 4.0 * At25);
+}
+
+TEST(TimeEstimateTest, ZeroMissRateCostsNothing) {
+  TimeEstimate Time;
+  Time.Instructions = 42;
+  Time.DataRefs = 1u << 30;
+  Time.MissRate = 0.0;
+  EXPECT_DOUBLE_EQ(Time.totalCycles(), 42.0);
+}

@@ -1,0 +1,209 @@
+//===- tests/sequentialfit_test.cpp - BestFit and FirstFit policies -------===//
+
+#include "alloc/BestFit.h"
+#include "alloc/FirstFit.h"
+#include "core/Lab.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace allocsim;
+
+namespace {
+
+struct Harness {
+  MemoryBus Bus;
+  SimHeap Heap{Bus};
+  CostModel Cost;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// BestFit
+//===----------------------------------------------------------------------===//
+
+TEST(BestFitTest, FactoryAndNames) {
+  Harness H;
+  std::unique_ptr<Allocator> Alloc =
+      createAllocator(AllocatorKind::BestFit, H.Heap, H.Cost);
+  EXPECT_EQ(Alloc->kind(), AllocatorKind::BestFit);
+  EXPECT_STREQ(Alloc->name(), "BestFit");
+  EXPECT_EQ(parseAllocatorKind("best-fit"), AllocatorKind::BestFit);
+}
+
+TEST(BestFitTest, PrefersTightestHole) {
+  Harness H;
+  BestFit Alloc(H.Heap, H.Cost);
+  // Build three holes of distinct sizes; keep separators live so the holes
+  // cannot coalesce.
+  Addr Big = Alloc.malloc(512);
+  Alloc.malloc(16); // separator
+  Addr Medium = Alloc.malloc(128);
+  Alloc.malloc(16);
+  Addr Small = Alloc.malloc(48);
+  Alloc.malloc(16);
+  Alloc.free(Big);
+  Alloc.free(Medium);
+  Alloc.free(Small);
+
+  // A 40-byte request fits all three; best fit must take the 48-byte hole
+  // even though the others precede it in LIFO order.
+  EXPECT_EQ(Alloc.malloc(40), Small);
+  // A 100-byte request now best-fits the 128-byte hole.
+  EXPECT_EQ(Alloc.malloc(100), Medium);
+  // And a 500-byte request the big one.
+  EXPECT_EQ(Alloc.malloc(500), Big);
+}
+
+TEST(BestFitTest, ExactFitStopsSearch) {
+  Harness H;
+  BestFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(64);
+  Alloc.malloc(16);
+  Alloc.free(A);
+  uint64_t Before = Alloc.blocksSearched();
+  // Exactly matching request: found block has size 72 == need 72.
+  Addr B = Alloc.malloc(64);
+  EXPECT_EQ(B, A);
+  // The freed block is at the list head; an exact match must stop there
+  // (one candidate examined, plus none after).
+  EXPECT_EQ(Alloc.blocksSearched(), Before + 1);
+}
+
+TEST(BestFitTest, CoalescesLikeFirstFit) {
+  Harness H;
+  BestFit Alloc(H.Heap, H.Cost);
+  Addr A = Alloc.malloc(1000);
+  Addr B = Alloc.malloc(1000);
+  Addr C = Alloc.malloc(1000);
+  uint32_t HeapBefore = Alloc.heapBytes();
+  Alloc.free(B);
+  Alloc.free(A);
+  Alloc.free(C);
+  EXPECT_EQ(Alloc.malloc(3000), A);
+  EXPECT_EQ(Alloc.heapBytes(), HeapBefore);
+}
+
+TEST(BestFitTest, WastesLessThanFirstFitOnMixedHoles) {
+  // Property: with varied hole sizes and varied requests, best fit should
+  // not grow the heap more than first fit does.
+  auto RunChurn = [](Allocator &Alloc) {
+    Rng R(77);
+    std::vector<Addr> Live;
+    for (int Op = 0; Op < 4000; ++Op) {
+      if (Live.size() < 60 || R.nextBool(0.5)) {
+        uint32_t Size = 8 + 4 * static_cast<uint32_t>(R.nextBelow(120));
+        Live.push_back(Alloc.malloc(Size));
+      } else {
+        size_t Victim = R.nextBelow(Live.size());
+        Alloc.free(Live[Victim]);
+        Live[Victim] = Live.back();
+        Live.pop_back();
+      }
+    }
+    return Alloc.heapBytes();
+  };
+  Harness HFirst, HBest;
+  FirstFit First(HFirst.Heap, HFirst.Cost);
+  BestFit Best(HBest.Heap, HBest.Cost);
+  EXPECT_LE(RunChurn(Best), RunChurn(First) * 11 / 10);
+}
+
+//===----------------------------------------------------------------------===//
+// FirstFit insertion policies
+//===----------------------------------------------------------------------===//
+
+TEST(FirstFitPolicyTest, AllPoliciesHonorTheContract) {
+  for (FirstFitPolicy Policy :
+       {FirstFitPolicy::Roving, FirstFitPolicy::Lifo,
+        FirstFitPolicy::AddressOrdered}) {
+    Harness H;
+    FirstFit Alloc(H.Heap, H.Cost, Policy);
+    EXPECT_EQ(Alloc.policy(), Policy);
+
+    Rng R(123);
+    std::vector<std::pair<Addr, uint32_t>> Live;
+    for (int Op = 0; Op < 2000; ++Op) {
+      if (Live.size() < 40 || R.nextBool(0.5)) {
+        uint32_t Size = 4 + 4 * static_cast<uint32_t>(R.nextBelow(100));
+        Addr Ptr = Alloc.malloc(Size);
+        ASSERT_EQ(Ptr % 4, 0u);
+        for (const auto &[Other, OtherSize] : Live)
+          ASSERT_TRUE(Ptr + Size <= Other || Other + OtherSize <= Ptr)
+              << "overlap under policy " << int(Policy);
+        Live.emplace_back(Ptr, Size);
+      } else {
+        size_t Victim = R.nextBelow(Live.size());
+        Alloc.free(Live[Victim].first);
+        Live[Victim] = Live.back();
+        Live.pop_back();
+      }
+    }
+    for (const auto &[Ptr, Size] : Live)
+      Alloc.free(Ptr);
+    EXPECT_EQ(Alloc.stats().LiveBytes, 0u);
+  }
+}
+
+TEST(FirstFitPolicyTest, AddressOrderedKeepsListSorted) {
+  Harness H;
+  FirstFit Alloc(H.Heap, H.Cost, FirstFitPolicy::AddressOrdered);
+  // Create holes at known, out-of-order free sequence.
+  std::vector<Addr> Ptrs;
+  for (int I = 0; I < 8; ++I) {
+    Ptrs.push_back(Alloc.malloc(100));
+    Alloc.malloc(16); // separator
+  }
+  // Free in a scrambled order.
+  for (int I : {5, 1, 7, 3, 0, 6, 2, 4})
+    Alloc.free(Ptrs[I]);
+  // Address-ordered first fit must now serve same-size requests in
+  // ascending address order.
+  Addr Prev = 0;
+  for (int I = 0; I < 8; ++I) {
+    Addr Ptr = Alloc.malloc(100);
+    EXPECT_GT(Ptr, Prev) << "allocation " << I << " out of address order";
+    Prev = Ptr;
+  }
+}
+
+TEST(FirstFitPolicyTest, LifoReusesMostRecentHole) {
+  Harness H;
+  FirstFit Alloc(H.Heap, H.Cost, FirstFitPolicy::Lifo);
+  Addr A = Alloc.malloc(64);
+  Alloc.malloc(16);
+  Addr B = Alloc.malloc(64);
+  Alloc.malloc(16);
+  Alloc.free(A);
+  Alloc.free(B);
+  // LIFO: B freed last, so it is at the head and gets reused first.
+  EXPECT_EQ(Alloc.malloc(64), B);
+  EXPECT_EQ(Alloc.malloc(64), A);
+}
+
+TEST(FirstFitPolicyTest, LabRunsAllDisciplines) {
+  for (FirstFitPolicy Policy :
+       {FirstFitPolicy::Roving, FirstFitPolicy::Lifo,
+        FirstFitPolicy::AddressOrdered}) {
+    ExperimentConfig Config;
+    Config.Workload = WorkloadId::Make;
+    Config.Allocator = AllocatorKind::FirstFit;
+    Config.FirstFitDiscipline = Policy;
+    Config.Engine.Scale = 8;
+    Config.Caches = {CacheConfig{16 * 1024, 32, 1}};
+    RunResult Result = runExperiment(Config);
+    EXPECT_GT(Result.BlocksSearched, 0u);
+    EXPECT_GT(Result.Caches[0].Stats.Accesses, 0u);
+  }
+}
+
+TEST(FirstFitPolicyTest, BestFitRunsThroughLab) {
+  ExperimentConfig Config;
+  Config.Workload = WorkloadId::Make;
+  Config.Allocator = AllocatorKind::BestFit;
+  Config.Engine.Scale = 8;
+  RunResult Result = runExperiment(Config);
+  EXPECT_GT(Result.TotalRefs, 0u);
+  EXPECT_GT(Result.BlocksSearched, 0u);
+}

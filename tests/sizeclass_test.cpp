@@ -1,0 +1,135 @@
+//===- tests/sizeclass_test.cpp - Size-class mapping tests ----------------===//
+
+#include "alloc/CustomAlloc.h"
+#include "alloc/SizeClassMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace allocsim;
+
+TEST(SizeClassMapTest, PowerOfTwoPolicy) {
+  SizeClassMap Map = SizeClassMap::powerOfTwo(1024);
+  EXPECT_EQ(Map.maxSize(), 1024u);
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(1)), 4u);
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(5)), 8u);
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(24)), 32u);
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(33)), 64u);
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(1024)), 1024u);
+}
+
+TEST(SizeClassMapTest, WordMultiplePolicyIsExact) {
+  // The QuickFit configuration: 4..32 in word steps.
+  SizeClassMap Map = SizeClassMap::wordMultiple(4, 32);
+  EXPECT_EQ(Map.numClasses(), 8u);
+  for (uint32_t Size = 1; Size <= 32; ++Size) {
+    uint32_t Rounded = (Size + 3) & ~3u;
+    EXPECT_EQ(Map.classSize(Map.classIndexFor(Size)), Rounded);
+  }
+}
+
+TEST(SizeClassMapTest, BoundedFragmentationRespectsBound) {
+  // The paper's example: with 25% tolerated waste, requests of 12-16 bytes
+  // round to 16.
+  SizeClassMap Map = SizeClassMap::boundedFragmentation(0.25, 4096);
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(12)), 16u);
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(16)), 16u);
+  // Property: waste never exceeds the bound (for word-aligned requests,
+  // where rounding-to-word is not itself waste).
+  for (uint32_t Size = 4; Size <= 4096; Size += 4) {
+    uint32_t ClassBytes = Map.classSize(Map.classIndexFor(Size));
+    double Waste = double(ClassBytes - Size) / double(ClassBytes);
+    EXPECT_LE(Waste, 0.25 + 1e-9) << "size " << Size;
+  }
+}
+
+TEST(SizeClassMapTest, MappingTableMatchesSearch) {
+  // Property: the Figure 9 table lookup equals the smallest covering class.
+  SizeClassMap Map = SizeClassMap::boundedFragmentation(0.15, 2048);
+  for (uint32_t Size = 1; Size <= 2048; ++Size) {
+    uint32_t Idx = Map.classIndexFor(Size);
+    EXPECT_GE(Map.classSize(Idx), Size);
+    if (Idx > 0) {
+      EXPECT_LT(Map.classSize(Idx - 1), ((Size + 3) & ~3u))
+          << "not the smallest covering class for " << Size;
+    }
+  }
+}
+
+TEST(SizeClassMapTest, FromProfileHasExactClassesForHotSizes) {
+  Histogram Profile;
+  Profile.add(24, 1000);
+  Profile.add(40, 500);
+  Profile.add(120, 200);
+  Profile.add(300, 10);
+  SizeClassMap Map = SizeClassMap::fromProfile(Profile, 3, 1024);
+  // The three hot sizes map exactly.
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(24)), 24u);
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(40)), 40u);
+  EXPECT_EQ(Map.classSize(Map.classIndexFor(120)), 120u);
+  // Coverage extends to MaxSize regardless.
+  EXPECT_EQ(Map.maxSize(), 1024u);
+  EXPECT_GE(Map.classSize(Map.classIndexFor(1000)), 1000u);
+}
+
+TEST(SizeClassMapTest, ExpectedWasteOrdersPolicies) {
+  // On a skewed profile, the empirical map must waste no more than the
+  // power-of-two map — the paper's argument for customization.
+  Histogram Profile;
+  Profile.add(20, 500);
+  Profile.add(36, 300);
+  Profile.add(72, 200);
+  SizeClassMap Custom = SizeClassMap::fromProfile(Profile, 8, 1024);
+  SizeClassMap Pow2 = SizeClassMap::powerOfTwo(1024);
+  EXPECT_LT(Custom.expectedWaste(Profile), Pow2.expectedWaste(Profile));
+  EXPECT_NEAR(Custom.expectedWaste(Profile), 0.0, 1e-9);
+}
+
+TEST(SizeClassMapTest, WasteForIsConsistent) {
+  SizeClassMap Map = SizeClassMap::powerOfTwo(256);
+  EXPECT_EQ(Map.wasteFor(33), 31u);
+  EXPECT_EQ(Map.wasteFor(64), 0u);
+}
+
+TEST(CustomAllocTest, UsesMappingTableClasses) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  Histogram Profile;
+  Profile.add(24, 100);
+  Profile.add(100, 50);
+  CustomAlloc Alloc(Heap, Cost, SizeClassMap::fromProfile(Profile, 4, 256));
+
+  Addr A = Alloc.malloc(24);
+  Alloc.free(A);
+  EXPECT_EQ(Alloc.malloc(24), A) << "exact class LIFO reuse";
+  EXPECT_EQ(Alloc.fastMallocs(), 2u);
+
+  Alloc.malloc(4000);
+  EXPECT_EQ(Alloc.slowMallocs(), 1u);
+}
+
+TEST(CustomAllocTest, HotSizePacksTightly) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  Histogram Profile;
+  Profile.add(20, 100);
+  CustomAlloc Alloc(Heap, Cost, SizeClassMap::fromProfile(Profile, 4, 256));
+  // Exact 20-byte class: consecutive carves are 24 bytes apart (20 +
+  // header), against 36 for a power-of-two allocator (32-byte class + 4).
+  Addr A = Alloc.malloc(20);
+  Addr B = Alloc.malloc(20);
+  EXPECT_EQ(B, A + 24);
+}
+
+TEST(CustomAllocTest, DelegatedFreeRoutesToBackend) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  Histogram Profile;
+  Profile.add(16, 10);
+  CustomAlloc Alloc(Heap, Cost, SizeClassMap::fromProfile(Profile, 2, 64));
+  Addr Big = Alloc.malloc(500);
+  Alloc.free(Big);
+  EXPECT_EQ(Alloc.malloc(500), Big);
+}

@@ -1,0 +1,140 @@
+//===- tools/allocsim_cli.cpp - General experiment runner -----------------===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+// A command-line front end over the Lab API for ad-hoc experiments beyond
+// the canned paper benchmarks: any workload, any subset of allocators, any
+// list of cache geometries, optional page-fault curve, text or CSV output.
+//
+// Examples:
+//   allocsim_cli --workload gs --allocators FirstFit,BSD --caches 16,64
+//   allocsim_cli --workload gawk --caches 64:32:4 --penalty 100
+//   allocsim_cli --workload ptc --paging 512,1024,2048,4096 --csv true
+//
+// Cache syntax: sizeKB[:blockBytes[:assoc]], comma separated.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Lab.h"
+#include "support/CommandLine.h"
+#include "support/Error.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <sstream>
+
+using namespace allocsim;
+
+namespace {
+
+std::vector<std::string> splitList(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  std::string Part;
+  std::istringstream Stream(Text);
+  while (std::getline(Stream, Part, Sep))
+    if (!Part.empty())
+      Parts.push_back(Part);
+  return Parts;
+}
+
+uint32_t parseUnsigned(const std::string &Text, const char *What) {
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0' || Value == 0)
+    reportFatalError(std::string("bad ") + What + ": '" + Text + "'");
+  return static_cast<uint32_t>(Value);
+}
+
+CacheConfig parseCache(const std::string &Spec) {
+  std::vector<std::string> Parts = splitList(Spec, ':');
+  if (Parts.empty() || Parts.size() > 3)
+    reportFatalError("bad cache spec '" + Spec + "'");
+  CacheConfig Config;
+  Config.SizeBytes = parseUnsigned(Parts[0], "cache size (KB)") * 1024;
+  Config.BlockBytes = Parts.size() > 1
+                          ? parseUnsigned(Parts[1], "block bytes")
+                          : 32;
+  Config.Assoc =
+      Parts.size() > 2 ? parseUnsigned(Parts[2], "associativity") : 1;
+  if (!Config.valid())
+    reportFatalError("invalid cache geometry '" + Spec + "'");
+  return Config;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli;
+  Cli.addFlag("workload", "gs", "workload name (espresso/gs/ptc/...)");
+  Cli.addFlag("allocators", "FirstFit,QuickFit,GnuG++,BSD,GnuLocal",
+              "comma-separated allocator names (also BestFit, Custom)");
+  Cli.addFlag("caches", "16,64", "cache specs: sizeKB[:block[:assoc]]");
+  Cli.addFlag("paging", "", "memory sizes (KB) for the page-fault curve");
+  Cli.addFlag("penalty", "25", "cache miss penalty in cycles");
+  Cli.addFlag("scale", "8", "divide paper allocation counts by this");
+  Cli.addFlag("seed", "1592932958", "workload RNG seed");
+  Cli.addFlag("tags", "false", "emulate boundary tags on GnuLocal");
+  Cli.addFlag("csv", "false", "emit CSV");
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  ExperimentConfig Base;
+  Base.Workload = parseWorkload(Cli.getString("workload"));
+  Base.Engine.Scale = static_cast<uint32_t>(Cli.getInt("scale"));
+  Base.Engine.Seed = static_cast<uint64_t>(Cli.getInt("seed"));
+  Base.MissPenaltyCycles = static_cast<uint32_t>(Cli.getInt("penalty"));
+  Base.EmulateBoundaryTags = Cli.getBool("tags");
+  for (const std::string &Spec : splitList(Cli.getString("caches"), ','))
+    Base.Caches.push_back(parseCache(Spec));
+  for (const std::string &Kb : splitList(Cli.getString("paging"), ','))
+    Base.PagingMemoryKb.push_back(parseUnsigned(Kb, "memory size (KB)"));
+
+  std::vector<std::string> Headers = {
+      "allocator", "refs(M)", "instr(M)", "malloc+free %", "heap KB",
+      "scan/op"};
+  for (const CacheConfig &Cache : Base.Caches) {
+    Headers.push_back("miss% " + std::to_string(Cache.SizeBytes / 1024) +
+                      "K" + (Cache.Assoc > 1
+                                 ? ":" + std::to_string(Cache.Assoc) + "w"
+                                 : ""));
+    Headers.push_back("est.sec");
+  }
+  for (uint32_t MemoryKb : Base.PagingMemoryKb)
+    Headers.push_back("flt/ref@" + std::to_string(MemoryKb) + "K");
+  Table Out(Headers);
+
+  for (const std::string &Name :
+       splitList(Cli.getString("allocators"), ',')) {
+    ExperimentConfig Config = Base;
+    Config.Allocator = parseAllocatorKind(Name);
+    RunResult Result = runExperiment(Config);
+
+    Out.beginRow();
+    Out.cell(allocatorKindName(Config.Allocator));
+    Out.num(double(Result.TotalRefs) / 1e6, 1);
+    Out.num(double(Result.totalInstructions()) / 1e6, 1);
+    Out.num(100.0 * Result.allocInstrFraction(), 1);
+    Out.num(uint64_t(Result.HeapBytes / 1024));
+    Out.num(Result.Alloc.MallocCalls
+                ? double(Result.BlocksSearched) /
+                      double(Result.Alloc.MallocCalls)
+                : 0.0,
+            1);
+    for (const CacheResult &Cache : Result.Caches) {
+      Out.num(100.0 * Cache.Stats.missRate(), 2);
+      Out.num(Cache.Time.seconds(), 2);
+    }
+    for (const PagingPoint &Point : Result.Paging) {
+      char Buffer[32];
+      std::snprintf(Buffer, sizeof(Buffer), "%.3e", Point.FaultsPerRef);
+      Out.cell(Buffer);
+    }
+  }
+
+  if (Cli.getBool("csv"))
+    Out.renderCsv(std::cout);
+  else
+    Out.renderText(std::cout,
+                   "workload: " + std::string(workloadName(Base.Workload)));
+  return 0;
+}
