@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cache_geometry.dir/bench_ext_cache_geometry.cpp.o"
+  "CMakeFiles/bench_ext_cache_geometry.dir/bench_ext_cache_geometry.cpp.o.d"
+  "bench_ext_cache_geometry"
+  "bench_ext_cache_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cache_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

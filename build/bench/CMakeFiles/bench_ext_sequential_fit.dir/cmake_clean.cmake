@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sequential_fit.dir/bench_ext_sequential_fit.cpp.o"
+  "CMakeFiles/bench_ext_sequential_fit.dir/bench_ext_sequential_fit.cpp.o.d"
+  "bench_ext_sequential_fit"
+  "bench_ext_sequential_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sequential_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_pagefaults_gs.dir/bench_fig2_pagefaults_gs.cpp.o"
+  "CMakeFiles/bench_fig2_pagefaults_gs.dir/bench_fig2_pagefaults_gs.cpp.o.d"
+  "bench_fig2_pagefaults_gs"
+  "bench_fig2_pagefaults_gs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_pagefaults_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

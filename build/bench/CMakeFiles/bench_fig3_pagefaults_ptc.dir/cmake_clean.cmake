@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pagefaults_ptc.dir/bench_fig3_pagefaults_ptc.cpp.o"
+  "CMakeFiles/bench_fig3_pagefaults_ptc.dir/bench_fig3_pagefaults_ptc.cpp.o.d"
+  "bench_fig3_pagefaults_ptc"
+  "bench_fig3_pagefaults_ptc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pagefaults_ptc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_exectime_16k.dir/bench_fig4_exectime_16k.cpp.o"
+  "CMakeFiles/bench_fig4_exectime_16k.dir/bench_fig4_exectime_16k.cpp.o.d"
+  "bench_fig4_exectime_16k"
+  "bench_fig4_exectime_16k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_exectime_16k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_exectime_64k.dir/bench_fig5_exectime_64k.cpp.o"
+  "CMakeFiles/bench_fig5_exectime_64k.dir/bench_fig5_exectime_64k.cpp.o.d"
+  "bench_fig5_exectime_64k"
+  "bench_fig5_exectime_64k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_exectime_64k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_7_8_gs_missrate.cpp" "bench/CMakeFiles/bench_fig6_7_8_gs_missrate.dir/bench_fig6_7_8_gs_missrate.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_7_8_gs_missrate.dir/bench_fig6_7_8_gs_missrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/allocsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/allocsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/allocsim_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/allocsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/allocsim_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/allocsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/allocsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/allocsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/allocsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_7_8_gs_missrate.dir/bench_fig6_7_8_gs_missrate.cpp.o"
+  "CMakeFiles/bench_fig6_7_8_gs_missrate.dir/bench_fig6_7_8_gs_missrate.cpp.o.d"
+  "bench_fig6_7_8_gs_missrate"
+  "bench_fig6_7_8_gs_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_8_gs_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_allocators.dir/bench_micro_allocators.cpp.o"
+  "CMakeFiles/bench_micro_allocators.dir/bench_micro_allocators.cpp.o.d"
+  "bench_micro_allocators"
+  "bench_micro_allocators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

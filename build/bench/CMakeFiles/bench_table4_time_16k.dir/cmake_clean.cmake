@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_time_16k.dir/bench_table4_time_16k.cpp.o"
+  "CMakeFiles/bench_table4_time_16k.dir/bench_table4_time_16k.cpp.o.d"
+  "bench_table4_time_16k"
+  "bench_table4_time_16k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_time_16k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_boundary_tags.dir/bench_table6_boundary_tags.cpp.o"
+  "CMakeFiles/bench_table6_boundary_tags.dir/bench_table6_boundary_tags.cpp.o.d"
+  "bench_table6_boundary_tags"
+  "bench_table6_boundary_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_boundary_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_anatomy.dir/allocator_anatomy.cpp.o"
+  "CMakeFiles/allocator_anatomy.dir/allocator_anatomy.cpp.o.d"
+  "allocator_anatomy"
+  "allocator_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

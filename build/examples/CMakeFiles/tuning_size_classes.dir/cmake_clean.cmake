@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_size_classes.dir/tuning_size_classes.cpp.o"
+  "CMakeFiles/tuning_size_classes.dir/tuning_size_classes.cpp.o.d"
+  "tuning_size_classes"
+  "tuning_size_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_size_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

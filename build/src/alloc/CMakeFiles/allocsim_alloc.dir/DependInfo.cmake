@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/Allocator.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/Allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/Allocator.cpp.o.d"
+  "/root/repo/src/alloc/BestFit.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/BestFit.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/BestFit.cpp.o.d"
+  "/root/repo/src/alloc/Bsd.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/Bsd.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/Bsd.cpp.o.d"
+  "/root/repo/src/alloc/CoalescingAllocator.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/CoalescingAllocator.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/CoalescingAllocator.cpp.o.d"
+  "/root/repo/src/alloc/CustomAlloc.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/CustomAlloc.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/CustomAlloc.cpp.o.d"
+  "/root/repo/src/alloc/FirstFit.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/FirstFit.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/FirstFit.cpp.o.d"
+  "/root/repo/src/alloc/GnuGxx.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/GnuGxx.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/GnuGxx.cpp.o.d"
+  "/root/repo/src/alloc/GnuLocal.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/GnuLocal.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/GnuLocal.cpp.o.d"
+  "/root/repo/src/alloc/QuickFit.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/QuickFit.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/QuickFit.cpp.o.d"
+  "/root/repo/src/alloc/SizeClassMap.cpp" "src/alloc/CMakeFiles/allocsim_alloc.dir/SizeClassMap.cpp.o" "gcc" "src/alloc/CMakeFiles/allocsim_alloc.dir/SizeClassMap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/allocsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/allocsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/allocsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

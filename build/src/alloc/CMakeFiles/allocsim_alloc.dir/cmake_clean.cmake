@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_alloc.dir/Allocator.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/Allocator.cpp.o.d"
+  "CMakeFiles/allocsim_alloc.dir/BestFit.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/BestFit.cpp.o.d"
+  "CMakeFiles/allocsim_alloc.dir/Bsd.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/Bsd.cpp.o.d"
+  "CMakeFiles/allocsim_alloc.dir/CoalescingAllocator.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/CoalescingAllocator.cpp.o.d"
+  "CMakeFiles/allocsim_alloc.dir/CustomAlloc.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/CustomAlloc.cpp.o.d"
+  "CMakeFiles/allocsim_alloc.dir/FirstFit.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/FirstFit.cpp.o.d"
+  "CMakeFiles/allocsim_alloc.dir/GnuGxx.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/GnuGxx.cpp.o.d"
+  "CMakeFiles/allocsim_alloc.dir/GnuLocal.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/GnuLocal.cpp.o.d"
+  "CMakeFiles/allocsim_alloc.dir/QuickFit.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/QuickFit.cpp.o.d"
+  "CMakeFiles/allocsim_alloc.dir/SizeClassMap.cpp.o"
+  "CMakeFiles/allocsim_alloc.dir/SizeClassMap.cpp.o.d"
+  "liballocsim_alloc.a"
+  "liballocsim_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_cache.dir/CacheSim.cpp.o"
+  "CMakeFiles/allocsim_cache.dir/CacheSim.cpp.o.d"
+  "liballocsim_cache.a"
+  "liballocsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_core.dir/Lab.cpp.o"
+  "CMakeFiles/allocsim_core.dir/Lab.cpp.o.d"
+  "liballocsim_core.a"
+  "liballocsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

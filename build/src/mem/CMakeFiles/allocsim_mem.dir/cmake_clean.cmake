@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_mem.dir/MemoryBus.cpp.o"
+  "CMakeFiles/allocsim_mem.dir/MemoryBus.cpp.o.d"
+  "CMakeFiles/allocsim_mem.dir/SimHeap.cpp.o"
+  "CMakeFiles/allocsim_mem.dir/SimHeap.cpp.o.d"
+  "liballocsim_mem.a"
+  "liballocsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_metrics.dir/CostModel.cpp.o"
+  "CMakeFiles/allocsim_metrics.dir/CostModel.cpp.o.d"
+  "liballocsim_metrics.a"
+  "liballocsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

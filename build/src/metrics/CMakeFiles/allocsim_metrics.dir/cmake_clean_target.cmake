@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liballocsim_metrics.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/allocsim_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/allocsim_support.dir/Error.cpp.o"
+  "CMakeFiles/allocsim_support.dir/Error.cpp.o.d"
+  "CMakeFiles/allocsim_support.dir/Histogram.cpp.o"
+  "CMakeFiles/allocsim_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/allocsim_support.dir/Table.cpp.o"
+  "CMakeFiles/allocsim_support.dir/Table.cpp.o.d"
+  "liballocsim_support.a"
+  "liballocsim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/AllocEvents.cpp" "src/trace/CMakeFiles/allocsim_trace.dir/AllocEvents.cpp.o" "gcc" "src/trace/CMakeFiles/allocsim_trace.dir/AllocEvents.cpp.o.d"
+  "/root/repo/src/trace/RefTrace.cpp" "src/trace/CMakeFiles/allocsim_trace.dir/RefTrace.cpp.o" "gcc" "src/trace/CMakeFiles/allocsim_trace.dir/RefTrace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/allocsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/allocsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_trace.dir/AllocEvents.cpp.o"
+  "CMakeFiles/allocsim_trace.dir/AllocEvents.cpp.o.d"
+  "CMakeFiles/allocsim_trace.dir/RefTrace.cpp.o"
+  "CMakeFiles/allocsim_trace.dir/RefTrace.cpp.o.d"
+  "liballocsim_trace.a"
+  "liballocsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

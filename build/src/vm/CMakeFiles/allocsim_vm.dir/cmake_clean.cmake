@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_vm.dir/PageSim.cpp.o"
+  "CMakeFiles/allocsim_vm.dir/PageSim.cpp.o.d"
+  "liballocsim_vm.a"
+  "liballocsim_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_workload.dir/Driver.cpp.o"
+  "CMakeFiles/allocsim_workload.dir/Driver.cpp.o.d"
+  "CMakeFiles/allocsim_workload.dir/Engine.cpp.o"
+  "CMakeFiles/allocsim_workload.dir/Engine.cpp.o.d"
+  "CMakeFiles/allocsim_workload.dir/Profiles.cpp.o"
+  "CMakeFiles/allocsim_workload.dir/Profiles.cpp.o.d"
+  "liballocsim_workload.a"
+  "liballocsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

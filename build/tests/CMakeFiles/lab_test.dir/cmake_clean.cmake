@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_test.dir/lab_test.cpp.o"
+  "CMakeFiles/lab_test.dir/lab_test.cpp.o.d"
+  "lab_test"
+  "lab_test.pdb"
+  "lab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequentialfit_test.dir/sequentialfit_test.cpp.o"
+  "CMakeFiles/sequentialfit_test.dir/sequentialfit_test.cpp.o.d"
+  "sequentialfit_test"
+  "sequentialfit_test.pdb"
+  "sequentialfit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequentialfit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

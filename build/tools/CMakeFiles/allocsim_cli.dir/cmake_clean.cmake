@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_cli.dir/allocsim_cli.cpp.o"
+  "CMakeFiles/allocsim_cli.dir/allocsim_cli.cpp.o.d"
+  "allocsim_cli"
+  "allocsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

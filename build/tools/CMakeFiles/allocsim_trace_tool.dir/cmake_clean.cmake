@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_trace_tool.dir/allocsim_trace_tool.cpp.o"
+  "CMakeFiles/allocsim_trace_tool.dir/allocsim_trace_tool.cpp.o.d"
+  "allocsim_trace_tool"
+  "allocsim_trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocsim_workload_tool.dir/allocsim_workload_tool.cpp.o"
+  "CMakeFiles/allocsim_workload_tool.dir/allocsim_workload_tool.cpp.o.d"
+  "allocsim_workload_tool"
+  "allocsim_workload_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocsim_workload_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
