@@ -72,6 +72,8 @@ Addr Allocator::malloc(uint32_t Size) {
   assert(Heap.contains(Ptr, Size) && "allocator returned bad region");
   [[maybe_unused]] bool Inserted = LiveObjects.emplace(Ptr, Size).second;
   assert(Inserted && "allocator returned an address twice");
+  if (Shadow)
+    Shadow->noteUserRange(*this, Ptr, Size);
 
   Stats.LiveBytes += Size;
   Stats.MaxLiveBytes = std::max(Stats.MaxLiveBytes, Stats.LiveBytes);
@@ -80,11 +82,20 @@ Addr Allocator::malloc(uint32_t Size) {
 
 void Allocator::free(Addr Ptr) {
   auto It = LiveObjects.find(Ptr);
-  if (It == LiveObjects.end())
+  if (It == LiveObjects.end()) {
+    // Under HeapCheck the double/invalid free becomes a recorded violation
+    // with a precise diagnostic (and the free is dropped, so the walk that
+    // follows sees an uncorrupted heap); without it, it stays fatal.
+    if (Shadow && Shadow->noteInvalidFree(*this, Ptr))
+      return;
     reportFatalError("free of unknown or already-freed address");
-  Stats.LiveBytes -= It->second;
+  }
+  uint32_t Size = It->second;
+  Stats.LiveBytes -= Size;
   LiveObjects.erase(It);
   ++Stats.FreeCalls;
+  if (Shadow)
+    Shadow->noteFreedRange(*this, Ptr, Size);
 
   doFree(Ptr);
 }

@@ -19,6 +19,7 @@
 #ifndef ALLOCSIM_ALLOC_ALLOCATOR_H
 #define ALLOCSIM_ALLOC_ALLOCATOR_H
 
+#include "check/HeapStateObserver.h"
 #include "mem/SimHeap.h"
 #include "metrics/CostModel.h"
 
@@ -97,6 +98,19 @@ public:
   /// Requested size of the live object at \p Ptr; checked.
   uint32_t objectSize(Addr Ptr) const;
 
+  /// The heap this allocator manages (read-only; invariant walkers use the
+  /// untraced peek accessors through it).
+  const SimHeap &heap() const { return Heap; }
+
+  /// Attaches (or detaches, with nullptr) a HeapCheck state observer.
+  /// malloc/free report user ranges automatically; subclasses additionally
+  /// annotate statically carved metadata via onShadowAttached.
+  void attachShadow(HeapStateObserver *Observer) {
+    Shadow = Observer;
+    if (Shadow)
+      onShadowAttached();
+  }
+
 protected:
   /// Implementations: return the user address / release it.
   virtual Addr doMalloc(uint32_t Size) = 0;
@@ -116,6 +130,20 @@ protected:
   /// Charges pure-arithmetic instruction cost.
   void charge(uint64_t Instructions) { Cost.chargeAlloc(Instructions); }
 
+  /// Called when a shadow observer is attached; subclasses annotate the
+  /// metadata regions they initialized with untraced pokes (sentinels,
+  /// freelist-head arrays, mapping tables).
+  virtual void onShadowAttached() {}
+
+  /// Annotates [Address, Address+Bytes) as allocator metadata.
+  void noteMetadata(Addr Address, uint32_t Bytes) {
+    if (Shadow)
+      Shadow->noteMetadataRange(*this, Address, Bytes);
+  }
+
+  /// The attached observer, for forwarding to nested backend allocators.
+  HeapStateObserver *shadowObserver() const { return Shadow; }
+
   /// Instruction cost attributed to each traced memory reference (load +
   /// address arithmetic + use).
   static constexpr uint64_t RefCost = 2;
@@ -128,6 +156,8 @@ private:
   /// Host-side shadow of live objects (requested sizes); used for stats and
   /// to catch invalid/double frees. Not part of the simulation.
   std::unordered_map<Addr, uint32_t> LiveObjects;
+  /// HeapCheck observer; null when checking is off.
+  HeapStateObserver *Shadow = nullptr;
 };
 
 /// Creates an allocator of the given kind over \p Heap. AllocatorKind::Custom

@@ -36,6 +36,9 @@ public:
 
   uint64_t blocksSearched() const override { return BlocksExamined; }
 
+  /// Introspection for the HeapCheck invariant walker.
+  Addr freelistSentinel() const { return Sentinel; }
+
 private:
   std::pair<Addr, uint32_t> findFit(uint32_t Need) override;
   void insertFree(Addr Block, uint32_t Size) override;

@@ -45,6 +45,9 @@ public:
   /// Smallest bucket whose block holds \p Size user bytes plus the header.
   static unsigned bucketFor(uint32_t Size);
 
+  /// Simulated address of nextf[Bucket] (HeapCheck walker introspection).
+  Addr freelistSlot(unsigned Bucket) const { return NextF + 4 * Bucket; }
+
 private:
   Addr doMalloc(uint32_t Size) override;
   void doFree(Addr Ptr) override;
@@ -53,7 +56,7 @@ private:
   /// larger) into a freelist chain, exactly as Kingsley's morecore does.
   void moreCore(unsigned Bucket);
 
-  Addr freelistSlot(unsigned Bucket) const { return NextF + 4 * Bucket; }
+  void onShadowAttached() override { noteMetadata(NextF, 4 * NumBuckets); }
 
   /// Address of the nextf[] bucket-head array (in the static area).
   Addr NextF;

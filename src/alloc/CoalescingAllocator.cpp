@@ -31,7 +31,13 @@ Addr CoalescingAllocator::makeSentinel() {
   // load-time initialization, not program execution.
   Heap.poke32(Node + 4, Node);
   Heap.poke32(Node + 8, Node);
+  Sentinels.push_back(Node);
   return Node;
+}
+
+void CoalescingAllocator::onShadowAttached() {
+  for (Addr Node : Sentinels)
+    noteMetadata(Node, 12);
 }
 
 Addr CoalescingAllocator::unlinkBlock(Addr Block) {

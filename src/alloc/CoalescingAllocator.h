@@ -33,6 +33,8 @@
 
 #include "alloc/Allocator.h"
 
+#include <vector>
+
 namespace allocsim {
 
 /// Base for boundary-tag allocators with block splitting and coalescing.
@@ -40,6 +42,10 @@ class CoalescingAllocator : public Allocator {
 public:
   /// Smallest legal block: header + two links + footer.
   static constexpr uint32_t MinBlockBytes = 16;
+
+  /// Tag decoding, shared with the invariant walkers.
+  static uint32_t tagSize(uint32_t Tag) { return Tag & ~3u; }
+  static bool tagAllocated(uint32_t Tag) { return (Tag & 1) != 0; }
 
 protected:
   CoalescingAllocator(SimHeap &Heap, CostModel &Cost);
@@ -88,8 +94,9 @@ protected:
   uint32_t readFooterBefore(Addr Block) { return load(Block - 4); }
   void writeTags(Addr Block, uint32_t Size, bool Allocated);
 
-  static uint32_t tagSize(uint32_t Tag) { return Tag & ~3u; }
-  static bool tagAllocated(uint32_t Tag) { return (Tag & 1) != 0; }
+  /// Sentinels were initialized with untraced pokes; annotate them for the
+  /// shadow when one attaches.
+  void onShadowAttached() override;
 
   /// Total block bytes needed to satisfy a request of \p Size user bytes.
   static uint32_t blockBytesFor(uint32_t Size) {
@@ -105,6 +112,10 @@ private:
   /// Obtains a new fencepost-guarded region of at least \p Need usable
   /// bytes from sbrk and inserts it as one free block.
   void expandHeap(uint32_t Need);
+
+  /// Host-side record of the sentinels created by makeSentinel, for shadow
+  /// annotation.
+  std::vector<Addr> Sentinels;
 };
 
 } // namespace allocsim

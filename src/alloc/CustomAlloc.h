@@ -48,21 +48,30 @@ public:
     return General.blocksSearched();
   }
 
+  /// Introspection for the HeapCheck invariant walker.
+  Addr freelistSlot(uint32_t ClassIndex) const {
+    return FreeLists + 4 * ClassIndex;
+  }
+  Addr tableSlot(uint32_t SizeWord) const { return MapTable + 4 * SizeWord; }
+  const GnuGxx &generalBackend() const { return General; }
+
+  static uint32_t fastHeader(uint32_t ClassIndex) {
+    return (ClassIndex << 8) | 0x2u | 0x1u;
+  }
+  static bool isFastHeader(uint32_t Header) { return (Header & 0x2u) != 0; }
+
 private:
   Addr doMalloc(uint32_t Size) override;
   void doFree(Addr Ptr) override;
 
   Addr carve(uint32_t ClassIndex);
 
-  Addr freelistSlot(uint32_t ClassIndex) const {
-    return FreeLists + 4 * ClassIndex;
+  void onShadowAttached() override {
+    noteMetadata(MapTable,
+                 static_cast<uint32_t>(4 * Map.table().size()));
+    noteMetadata(FreeLists, static_cast<uint32_t>(4 * Map.numClasses()));
+    General.attachShadow(shadowObserver());
   }
-  Addr tableSlot(uint32_t SizeWord) const { return MapTable + 4 * SizeWord; }
-
-  static uint32_t fastHeader(uint32_t ClassIndex) {
-    return (ClassIndex << 8) | 0x2u | 0x1u;
-  }
-  static bool isFastHeader(uint32_t Header) { return (Header & 0x2u) != 0; }
 
   SizeClassMap Map;
   /// Figure 9 mapping array, in simulated memory.

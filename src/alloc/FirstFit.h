@@ -54,6 +54,10 @@ public:
   /// telemetry; the paper's explanation for FIRSTFIT's cost).
   uint64_t blocksSearched() const override { return BlocksExamined; }
 
+  /// Introspection for the HeapCheck invariant walker.
+  Addr freelistSentinel() const { return Sentinel; }
+  Addr roverPosition() const { return Rover; }
+
 private:
   std::pair<Addr, uint32_t> findFit(uint32_t Need) override;
   void insertFree(Addr Block, uint32_t Size) override;

@@ -40,14 +40,18 @@ public:
   /// size in [2^(B+4), 2^(B+5)); the last bin holds everything larger.
   static constexpr unsigned NumBins = 24;
 
+  /// Bin index for a block of \p Size bytes (Size >= MinBlockBytes); also
+  /// the HeapCheck walker's bin-membership oracle.
+  static unsigned binFor(uint32_t Size);
+
+  /// Introspection for the HeapCheck invariant walker.
+  Addr binSentinel(unsigned Bin) const { return Bins[Bin]; }
+
 private:
   std::pair<Addr, uint32_t> findFit(uint32_t Need) override;
   void insertFree(Addr Block, uint32_t Size) override;
   uint64_t callOverhead() const override { return 14; }
   uint32_t minSplitBytes() const override { return 64; }
-
-  /// Bin index for a block of \p Size bytes (Size >= MinBlockBytes).
-  static unsigned binFor(uint32_t Size);
 
   /// Sentinel node of each bin's circular list.
   std::array<Addr, NumBins> Bins;

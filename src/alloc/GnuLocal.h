@@ -61,8 +61,8 @@ public:
   /// Telemetry: whole blocks reclaimed because every fragment was freed.
   uint64_t blocksReclaimed() const { return BlocksReclaimed; }
 
-private:
-  /// Block descriptor types (word 0 of each 16-byte descriptor).
+  /// Block descriptor types (word 0 of each 16-byte descriptor); public so
+  /// the HeapCheck invariant walker can decode the table.
   enum DescType : uint32_t {
     TypeFree = 0,       ///< head of a free run; A=length, B=next, C=prev
     TypeLargeHead = 1,  ///< first block of a busy run; A=length
@@ -71,6 +71,13 @@ private:
     TypeFreeInterior = 4, ///< interior block of a free run (debug aid)
   };
 
+  /// Introspection for the HeapCheck invariant walker.
+  Addr descTableAddr() const { return TableAddr; }
+  uint32_t descTableCapacity() const { return TableCapacity; }
+  Addr runListHeadSlot() const { return RunListHeadSlot; }
+  Addr fragListHead(unsigned FragLog) const { return fragHead(FragLog); }
+
+private:
   Addr doMalloc(uint32_t Size) override;
   void doFree(Addr Ptr) override;
 
@@ -92,6 +99,13 @@ private:
 
   /// Obtains \p Count fresh aligned blocks from sbrk.
   uint32_t morecoreBlocks(uint32_t Count);
+
+  void onShadowAttached() override {
+    unsigned NumFragLists = MaxFragLog - MinFragLog + 1;
+    noteMetadata(FragHeads, 8 * NumFragLists + 4);
+    if (TableAddr != 0)
+      noteMetadata(TableAddr, 16 * TableCapacity);
+  }
 
   uint32_t blockIndexOf(Addr Address) const {
     return (Address - Heap.base()) >> BlockShift;

@@ -49,16 +49,11 @@ public:
     return General.blocksSearched();
   }
 
-private:
-  Addr doMalloc(uint32_t Size) override;
-  void doFree(Addr Ptr) override;
-
-  /// Carves a fresh block of the class from the tail region.
-  Addr carveFast(unsigned ClassIndex);
-
+  /// Introspection for the HeapCheck invariant walker.
   Addr freelistSlot(unsigned ClassIndex) const {
     return FastLists + 4 * ClassIndex;
   }
+  const GnuGxx &generalBackend() const { return General; }
 
   /// Fast header word: class index and the fast-block marker bit (bit 1;
   /// general-allocator headers always have it clear since their sizes are
@@ -67,6 +62,18 @@ private:
     return (static_cast<uint32_t>(ClassIndex) << 8) | 0x2u | 0x1u;
   }
   static bool isFastHeader(uint32_t Header) { return (Header & 0x2u) != 0; }
+
+private:
+  Addr doMalloc(uint32_t Size) override;
+  void doFree(Addr Ptr) override;
+
+  /// Carves a fresh block of the class from the tail region.
+  Addr carveFast(unsigned ClassIndex);
+
+  void onShadowAttached() override {
+    noteMetadata(FastLists, 4 * NumFastLists);
+    General.attachShadow(shadowObserver());
+  }
 
   /// Address of the fast freelist head array (static area).
   Addr FastLists;

@@ -1,0 +1,71 @@
+//===- check/HeapChecker.h - Per-allocator invariant walkers ----*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invariant walkers: one per AllocatorKind, each traversing the
+/// allocator's in-heap data structures between operations and verifying
+/// the invariants that allocator's algorithm maintains —
+///
+///  * FirstFit / BestFit / GNU G++: freelist acyclicity and doubly-linked
+///    symmetry, boundary-tag front/back agreement, no allocated blocks on
+///    the list, coalescing completeness (no two adjacent free blocks),
+///    address order under the sorted discipline, rover validity, bin
+///    membership for the segregated bins.
+///  * BSD / QuickFit / Custom: segregated-list integrity, no block on two
+///    lists, exact-size-class header agreement, and (with a shadow
+///    attached) no freelist entry inside live user data.
+///  * GnuLocal: descriptor-table type validity, address-ordered free-run
+///    list linkage and run coalescing, fragment-class membership, and
+///    fragment free-count agreement between descriptors and class lists.
+///
+/// Walkers read the heap exclusively through the untraced peek accessors:
+/// a check pass adds no bus traffic and no CostModel charges, so checked
+/// and unchecked runs produce bit-identical measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_CHECK_HEAPCHECKER_H
+#define ALLOCSIM_CHECK_HEAPCHECKER_H
+
+#include "check/ShadowHeap.h"
+#include "check/Violation.h"
+
+#include <memory>
+
+namespace allocsim {
+
+class Allocator;
+
+/// Everything a walker needs for one pass.
+struct CheckContext {
+  const SimHeap &Heap;
+  /// Optional cross-checking against the shadow mirror.
+  const ShadowHeap *Shadow = nullptr;
+  ViolationLog &Log;
+  /// Operation index stamped onto diagnostics.
+  uint64_t OpIndex = 0;
+};
+
+/// One allocator's invariant walker.
+class HeapChecker {
+public:
+  virtual ~HeapChecker();
+
+  /// Walks the allocator's heap structures, reporting violations to
+  /// \p Ctx.Log. Must not emit bus traffic or charge instruction cost.
+  virtual void check(CheckContext &Ctx) const = 0;
+
+  /// Display name of the allocator this walker covers.
+  virtual const char *allocatorName() const = 0;
+};
+
+/// Builds the walker matching \p Alloc's dynamic kind (including the
+/// nested general-backend walkers of QuickFit and Custom).
+std::unique_ptr<HeapChecker> createHeapChecker(const Allocator &Alloc);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_CHECK_HEAPCHECKER_H

@@ -1,0 +1,61 @@
+//===- check/HeapStateObserver.h - Allocator state-annotation hooks -*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hook interface through which allocators annotate the semantic state
+/// of heap bytes for the HeapCheck subsystem. The interface is header-only
+/// so src/alloc can depend on it without linking against allocsim_check;
+/// ShadowHeap is the production implementation.
+///
+/// Allocators call these hooks from the Allocator base class (user ranges,
+/// freed ranges, invalid frees) and from per-allocator onShadowAttached
+/// overrides (statically carved metadata such as freelist-head arrays and
+/// sentinels that were initialized with untraced pokes). Metadata written
+/// through the traced store helpers is annotated automatically by the
+/// shadow's bus tap and needs no explicit hook call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_CHECK_HEAPSTATEOBSERVER_H
+#define ALLOCSIM_CHECK_HEAPSTATEOBSERVER_H
+
+#include "mem/MemAccess.h"
+
+#include <cstdint>
+
+namespace allocsim {
+
+class Allocator;
+
+/// Receiver of allocator state annotations (implemented by ShadowHeap).
+class HeapStateObserver {
+public:
+  virtual ~HeapStateObserver() = default;
+
+  /// [Address, Address+Size) was just handed to the application by
+  /// \p Alloc. Size is the requested (unrounded) size.
+  virtual void noteUserRange(const Allocator &Alloc, Addr Address,
+                             uint32_t Size) = 0;
+
+  /// The live object at [Address, Address+Size) was just released by the
+  /// application (called before the allocator recycles the storage).
+  virtual void noteFreedRange(const Allocator &Alloc, Addr Address,
+                              uint32_t Size) = 0;
+
+  /// [Address, Address+Size) holds allocator metadata (freelist heads,
+  /// sentinels, mapping tables) that was or will be written untraced.
+  virtual void noteMetadataRange(const Allocator &Alloc, Addr Address,
+                                 uint32_t Size) = 0;
+
+  /// The application freed \p Address, which is not a live object (double
+  /// free or wild free). Returns true if the event was recorded and the
+  /// caller should skip the free; false to fall back to a fatal error.
+  virtual bool noteInvalidFree(const Allocator &Alloc, Addr Address) = 0;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_CHECK_HEAPSTATEOBSERVER_H

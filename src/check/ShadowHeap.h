@@ -1,0 +1,113 @@
+//===- check/ShadowHeap.h - Byte-state shadow sanitizer ---------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ShadowHeap mirrors every byte of the simulated heap segment with a
+/// semantic state, the same technique shadow-memory sanitizers use for real
+/// allocators. State transitions come from two feeds:
+///
+///  * Allocator hooks (HeapStateObserver): malloc marks the returned range
+///    UserLive, free marks it UserFreed, and allocators annotate statically
+///    carved metadata (sentinels, freelist-head arrays, mapping tables).
+///  * The memory bus (AccessSink): allocator and tag-emulation stores mark
+///    their targets Metadata, since in this simulator the allocator only
+///    ever writes bookkeeping into the heap.
+///
+/// Every bus reference is validated against the mirror before the state is
+/// updated, which catches use-after-free, wild accesses, metadata/user
+/// overlap, double frees, and references past the segment break — each
+/// reported with the offending allocator, address, and access source. The
+/// shadow is a pure observer: it emits no bus traffic and charges no
+/// CostModel instructions, so enabling it cannot perturb a measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_CHECK_SHADOWHEAP_H
+#define ALLOCSIM_CHECK_SHADOWHEAP_H
+
+#include "check/HeapStateObserver.h"
+#include "check/Violation.h"
+#include "mem/SimHeap.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace allocsim {
+
+/// Semantic state of one simulated heap byte.
+enum class ByteState : uint8_t {
+  /// Obtained from sbrk but never handed out or written by the allocator.
+  Unallocated,
+  /// Inside an object currently owned by the application.
+  UserLive,
+  /// Inside an object that was freed and not yet reallocated.
+  UserFreed,
+  /// Allocator bookkeeping: tags, links, headers, tables, sentinels.
+  Metadata,
+};
+
+const char *byteStateName(ByteState State);
+
+/// Shadow mirror of a SimHeap; validates the reference stream.
+class ShadowHeap final : public AccessSink, public HeapStateObserver {
+public:
+  ShadowHeap(const SimHeap &Heap, ViolationLog &Log);
+
+  /// AccessSink: validates one bus reference, then folds it into the
+  /// mirror (allocator writes become Metadata).
+  void access(const MemAccess &Access) override;
+
+  /// HeapStateObserver hooks (see HeapStateObserver.h). Ranges are rounded
+  /// up to whole words: every allocator hands out word-aligned storage and
+  /// the driver touches objects at word granularity.
+  void noteUserRange(const Allocator &Alloc, Addr Address,
+                     uint32_t Size) override;
+  void noteFreedRange(const Allocator &Alloc, Addr Address,
+                      uint32_t Size) override;
+  void noteMetadataRange(const Allocator &Alloc, Addr Address,
+                         uint32_t Size) override;
+  bool noteInvalidFree(const Allocator &Alloc, Addr Address) override;
+
+  /// Current state of one byte (Unallocated for bytes beyond the break).
+  ByteState byteState(Addr Address) const;
+
+  /// True if any byte of [Address, Address+Size) has state \p State.
+  bool rangeHas(Addr Address, uint32_t Size, ByteState State) const;
+
+  /// Sets the malloc/free operation index stamped onto diagnostics.
+  void setOpIndex(uint64_t Index) { OpIndex = Index; }
+
+  /// Display name used for bus-level diagnostics (the experiment's outer
+  /// allocator; hook-level reports name the exact allocator instead).
+  void setAllocatorName(std::string Name) { BusAllocName = std::move(Name); }
+
+private:
+  void reportViolation(ViolationKind Kind, std::string AllocName,
+                       Addr Address, AccessSource Source,
+                       std::string Detail);
+  void setRange(Addr Address, uint32_t Size, ByteState State);
+  /// Grows the mirror to the current break; returns the mirror span.
+  uint32_t syncToBreak();
+
+  const SimHeap &Heap;
+  ViolationLog &Log;
+  std::vector<ByteState> States;
+  /// Live ranges by base address, to keep nested-delegation annotations
+  /// (QuickFit/Custom forwarding to their GNU G++ backend) idempotent and
+  /// to distinguish re-annotation from genuine overlap.
+  std::unordered_map<Addr, uint32_t> LiveRanges;
+  /// Base addresses freed and not since reallocated; distinguishes a double
+  /// free from a free of a never-allocated address even after the allocator
+  /// reuses the object's first words for links.
+  std::unordered_set<Addr> FreedBases;
+  std::string BusAllocName = "?";
+  uint64_t OpIndex = 0;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_CHECK_SHADOWHEAP_H

@@ -1,0 +1,62 @@
+//===- check/Violation.cpp - Heap-integrity violation records -------------===//
+
+#include "check/Violation.h"
+
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace allocsim;
+
+const char *allocsim::violationKindName(ViolationKind Kind) {
+  switch (Kind) {
+  case ViolationKind::FreelistCorrupt:
+    return "corrupt freelist link";
+  case ViolationKind::BoundaryTagMismatch:
+    return "boundary-tag mismatch";
+  case ViolationKind::MissedCoalesce:
+    return "adjacent free blocks not coalesced";
+  case ViolationKind::AllocatedOnFreelist:
+    return "allocated block on freelist";
+  case ViolationKind::SizeClassMismatch:
+    return "size-class membership violation";
+  case ViolationKind::DescriptorCorrupt:
+    return "corrupt block descriptor";
+  case ViolationKind::AccountingMismatch:
+    return "bookkeeping mismatch";
+  case ViolationKind::DoubleFree:
+    return "double free";
+  case ViolationKind::InvalidFree:
+    return "free of unknown address";
+  case ViolationKind::UseAfterFree:
+    return "use after free";
+  case ViolationKind::WildAccess:
+    return "access to unallocated heap";
+  case ViolationKind::MetadataUserOverlap:
+    return "metadata/user overlap";
+  case ViolationKind::OverlappingAlloc:
+    return "overlapping allocation";
+  case ViolationKind::OutOfSegment:
+    return "out-of-segment access";
+  }
+  return "unknown violation";
+}
+
+std::string CheckViolation::message() const {
+  std::ostringstream Out;
+  Out << "HeapCheck[" << AllocatorName << "] " << violationKindName(Kind)
+      << " at 0x" << std::hex << Address << std::dec;
+  if (!Detail.empty())
+    Out << ": " << Detail;
+  Out << " (op " << OpIndex << ", source " << accessSourceName(Source)
+      << ")";
+  return Out.str();
+}
+
+void ViolationLog::report(CheckViolation V) {
+  ++Count;
+  if (AbortOnViolation)
+    reportFatalError(V.message());
+  if (Records.size() < MaxRecorded)
+    Records.push_back(std::move(V));
+}

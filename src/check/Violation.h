@@ -1,0 +1,104 @@
+//===- check/Violation.h - Heap-integrity violation records -----*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The violation record every HeapCheck detector produces: which invariant
+/// broke, in which allocator, at which simulated address, and from which
+/// access source — precise enough to act on without rerunning. ViolationLog
+/// collects records and, in abort mode, turns the first one into a fatal
+/// error so corrupted experiments can never silently produce figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_CHECK_VIOLATION_H
+#define ALLOCSIM_CHECK_VIOLATION_H
+
+#include "mem/MemAccess.h"
+
+#include <string>
+#include <vector>
+
+namespace allocsim {
+
+/// The invariant classes HeapCheck distinguishes.
+enum class ViolationKind {
+  /// Freelist link is off-heap, misaligned, asymmetric, or cyclic.
+  FreelistCorrupt,
+  /// Boundary-tag header and footer of a block disagree.
+  BoundaryTagMismatch,
+  /// Two adjacent free blocks were not coalesced.
+  MissedCoalesce,
+  /// A block marked allocated appears on a free structure.
+  AllocatedOnFreelist,
+  /// A free structure entry violates its size class / bin / fragment class.
+  SizeClassMismatch,
+  /// A GnuLocal block descriptor is malformed.
+  DescriptorCorrupt,
+  /// Free-structure bookkeeping disagrees with itself (e.g. fragment
+  /// counts vs. list membership).
+  AccountingMismatch,
+  /// free() of an address whose bytes are already freed.
+  DoubleFree,
+  /// free() of an address that was never returned by malloc.
+  InvalidFree,
+  /// Application access to freed bytes.
+  UseAfterFree,
+  /// Application access to bytes never handed out.
+  WildAccess,
+  /// Allocator metadata and live user data overlap (allocator write into a
+  /// live object, metadata annotation over a live object, or application
+  /// access to metadata).
+  MetadataUserOverlap,
+  /// New allocation overlaps an existing live allocation.
+  OverlappingAlloc,
+  /// Access to heap-segment addresses beyond the current break.
+  OutOfSegment,
+};
+
+const char *violationKindName(ViolationKind Kind);
+
+/// One detected integrity violation.
+struct CheckViolation {
+  ViolationKind Kind = ViolationKind::FreelistCorrupt;
+  /// Display name of the offending allocator ("FirstFit", "BSD", ...).
+  std::string AllocatorName;
+  /// Simulated address the violation concerns.
+  Addr Address = 0;
+  /// Source of the offending access, where one exists.
+  AccessSource Source = AccessSource::Allocator;
+  /// Malloc/free operation index at detection time.
+  uint64_t OpIndex = 0;
+  /// Human-readable specifics (expected/actual values, list identity...).
+  std::string Detail;
+
+  /// Full one-line diagnostic.
+  std::string message() const;
+};
+
+/// Collects violations; optionally escalates the first to a fatal error.
+class ViolationLog {
+public:
+  explicit ViolationLog(bool AbortOnFirst = true, size_t RecordCap = 256)
+      : AbortOnViolation(AbortOnFirst), MaxRecorded(RecordCap) {}
+
+  /// Records \p V (up to MaxRecorded full records; the count is exact
+  /// regardless). In abort mode the first report is fatal.
+  void report(CheckViolation V);
+
+  const std::vector<CheckViolation> &violations() const { return Records; }
+  uint64_t count() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+private:
+  bool AbortOnViolation;
+  size_t MaxRecorded;
+  std::vector<CheckViolation> Records;
+  uint64_t Count = 0;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_CHECK_VIOLATION_H

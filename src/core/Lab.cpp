@@ -61,8 +61,17 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
   std::unique_ptr<Allocator> Alloc =
       buildAllocator(Config, Heap, Cost, Engine);
 
+  std::unique_ptr<HeapCheck> Check;
+  if (Config.Check.Level != CheckLevel::Off) {
+    Check = std::make_unique<HeapCheck>(Config.Check, Heap, Bus);
+    Check->attachAllocator(*Alloc);
+  }
+
   Driver Drive(*Alloc, Bus, Cost, Profile.instrPerRef());
+  Drive.setHeapCheck(Check.get());
   Engine.generate([&](const AllocEvent &Event) { Drive.execute(Event); });
+  if (Check)
+    Check->finalCheck();
 
   RunResult Result;
   Result.AppInstructions = Cost.appInstructions();
@@ -90,6 +99,13 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
     for (uint32_t MemoryKb : Config.PagingMemoryKb)
       Result.Paging.push_back(
           {MemoryKb, Paging->faultRateForMemoryKb(MemoryKb)});
+  }
+
+  if (Check) {
+    Result.CheckViolations = Check->violationCount();
+    Result.CheckWalks = Check->walksRun();
+    for (const CheckViolation &V : Check->violations())
+      Result.CheckReports.push_back(V.message());
   }
   return Result;
 }

@@ -31,11 +31,13 @@
 #include "alloc/FirstFit.h"
 #include "alloc/SizeClassMap.h"
 #include "cache/CacheSim.h"
+#include "check/HeapCheck.h"
 #include "metrics/CostModel.h"
 #include "workload/Engine.h"
 #include "workload/Workload.h"
 
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace allocsim {
@@ -73,6 +75,11 @@ struct ExperimentConfig {
   /// Explicit class map for Allocator == Custom, overriding the profile
   /// synthesis (used by the size-class policy ablation).
   std::optional<SizeClassMap> CustomClasses;
+
+  /// Heap-integrity checking (off by default; the checker observes through
+  /// untraced accessors only, so enabling it leaves every measurement
+  /// bit-identical).
+  CheckPolicy Check;
 };
 
 /// Miss statistics and derived time estimate for one cache geometry.
@@ -121,6 +128,12 @@ struct RunResult {
   /// Fault-rate curve samples, in config order.
   std::vector<PagingPoint> Paging;
   uint64_t DistinctPages = 0;
+
+  /// Heap-integrity findings (zero when checking is off or the heap is
+  /// sound). Messages are the retained CheckViolation::message() strings.
+  uint64_t CheckViolations = 0;
+  uint64_t CheckWalks = 0;
+  std::vector<std::string> CheckReports;
 
   /// Estimated execution seconds on the paper's 25 MHz test vehicle using
   /// cache \p CacheIndex.

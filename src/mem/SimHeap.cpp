@@ -10,6 +10,13 @@ SimHeap::SimHeap(MemoryBus &TraceBus, Addr HeapBaseAddr, uint32_t LimitBytes)
     : Bus(TraceBus), Base(HeapBaseAddr), Break(HeapBaseAddr),
       Limit(LimitBytes) {
   assert((Base & 4095) == 0 && "heap base must be page aligned");
+  // The break must stay representable: a fully grown segment may not reach
+  // the end of the 32-bit address space, or Break would wrap to 0 and
+  // contains() and every Addr comparison in the allocators would invert.
+  if (uint64_t(Base) + LimitBytes > 0xFFFF'FFFFu)
+    reportFatalError("heap segment wraps the 32-bit address space (base " +
+                     std::to_string(Base) + " + limit " +
+                     std::to_string(LimitBytes) + ")");
 }
 
 Addr SimHeap::sbrk(uint32_t Bytes) {

@@ -2,6 +2,7 @@
 
 #include "workload/Driver.h"
 
+#include "check/HeapCheck.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -35,6 +36,8 @@ void Driver::execute(const AllocEvent &Event) {
         Objects.emplace(Event.Id, ObjectInfo{Address, (Event.Amount + 3) / 4})
             .second;
     assert(Inserted && "duplicate object id in event stream");
+    if (Check)
+      Check->onOperation();
     break;
   }
   case AllocEventKind::Free: {
@@ -43,6 +46,8 @@ void Driver::execute(const AllocEvent &Event) {
       reportFatalError("event stream frees unknown object");
     Alloc.free(It->second.Address);
     Objects.erase(It);
+    if (Check)
+      Check->onOperation();
     break;
   }
   case AllocEventKind::Touch: {

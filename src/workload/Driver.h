@@ -30,6 +30,8 @@
 
 namespace allocsim {
 
+class HeapCheck;
+
 /// Executes allocation events against an allocator.
 class Driver {
 public:
@@ -51,6 +53,10 @@ public:
   /// Looks up the simulated address of a live object (tests/examples).
   Addr addressOf(uint32_t Id) const;
 
+  /// Attaches (or detaches, with nullptr) the heap-integrity checker; its
+  /// operation clock is advanced after every malloc/free event.
+  void setHeapCheck(HeapCheck *Checker) { Check = Checker; }
+
 private:
   void touchObject(Addr Address, uint32_t ObjectWords, uint32_t Words,
                    AccessKind Kind);
@@ -70,6 +76,9 @@ private:
 
   std::unordered_map<uint32_t, ObjectInfo> Objects;
   uint64_t AppRefs = 0;
+
+  /// Optional heap-integrity checker (null when checking is off).
+  HeapCheck *Check = nullptr;
 
   /// Stack zig-zag state.
   uint32_t StackWindowBytes;

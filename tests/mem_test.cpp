@@ -130,3 +130,32 @@ TEST(SimHeapTest, CustomBase) {
   SimHeap Heap(Bus, 0x2000'0000, 1 << 20);
   EXPECT_EQ(Heap.sbrk(8), 0x2000'0000u);
 }
+
+TEST(SimHeapDeathTest, SegmentWrappingAddressSpaceIsFatal) {
+  MemoryBus Bus;
+  EXPECT_DEATH({ SimHeap Heap(Bus, 0xFFFF'F000, 0x10000); },
+               "wraps the 32-bit address space");
+}
+
+TEST(SimHeapDeathTest, MisalignedAccessesAreRejected) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  Heap.sbrk(64);
+  EXPECT_DEATH(Heap.load32(HeapBase + 2, AccessSource::Application),
+               "misaligned");
+  EXPECT_DEATH(Heap.store32(HeapBase + 6, 1, AccessSource::Allocator),
+               "misaligned");
+}
+
+TEST(SimHeapTest, ContainsRejectsRangesWrappingTheAddressSpace) {
+  MemoryBus Bus;
+  // A segment deliberately placed at the top of the 32-bit space.
+  SimHeap Heap(Bus, 0xFFFF'0000, 0xF000);
+  Heap.sbrk(0xF000);
+  EXPECT_TRUE(Heap.contains(0xFFFF'0000, 0xF000));
+  EXPECT_TRUE(Heap.contains(0xFFFF'EFFC, 4));
+  // Address + Size wraps past zero: must be rejected, not accepted via the
+  // wrapped comparison.
+  EXPECT_FALSE(Heap.contains(0xFFFF'E000, 0x3000));
+  EXPECT_FALSE(Heap.contains(0xFFFF'EFFC, 0x2000));
+}

@@ -74,6 +74,11 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("scale", "8", "divide paper allocation counts by this");
   Cli.addFlag("seed", "1592932958", "workload RNG seed");
   Cli.addFlag("tags", "false", "emulate boundary tags on GnuLocal");
+  Cli.addFlag("check", "off",
+              "heap integrity checking: off, fast (shadow sanitizer), or "
+              "full (shadow + periodic invariant walks)");
+  Cli.addFlag("check-interval", "64",
+              "operations between invariant walks with --check=full");
   Cli.addFlag("csv", "false", "emit CSV");
   if (!Cli.parse(Argc, Argv))
     return 1;
@@ -84,6 +89,9 @@ int main(int Argc, char **Argv) {
   Base.Engine.Seed = static_cast<uint64_t>(Cli.getInt("seed"));
   Base.MissPenaltyCycles = static_cast<uint32_t>(Cli.getInt("penalty"));
   Base.EmulateBoundaryTags = Cli.getBool("tags");
+  Base.Check.Level = parseCheckLevel(Cli.getString("check"));
+  Base.Check.IntervalOps =
+      static_cast<uint32_t>(Cli.getInt("check-interval"));
   for (const std::string &Spec : splitList(Cli.getString("caches"), ','))
     Base.Caches.push_back(parseCache(Spec));
   for (const std::string &Kb : splitList(Cli.getString("paging"), ','))
@@ -108,6 +116,10 @@ int main(int Argc, char **Argv) {
     ExperimentConfig Config = Base;
     Config.Allocator = parseAllocatorKind(Name);
     RunResult Result = runExperiment(Config);
+    if (Config.Check.Level != CheckLevel::Off)
+      std::cerr << "heap check [" << allocatorKindName(Config.Allocator)
+                << "]: " << Result.CheckViolations << " violations ("
+                << Result.CheckWalks << " invariant walks)\n";
 
     Out.beginRow();
     Out.cell(allocatorKindName(Config.Allocator));

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the library, tool, and test
+# sources using the build tree's compile database.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script can
+# sit in local hooks without making LLVM a hard dependency; CI installs
+# clang-tidy and gets the real pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping." >&2
+  echo "run_clang_tidy: install clang-tidy (LLVM) to enable this check." >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-build}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json in $BUILD_DIR" >&2
+  exit 1
+fi
+
+FILES=$(git ls-files 'src/*.cpp' 'src/**/*.cpp' 'tools/*.cpp' 'tests/*.cpp')
+# shellcheck disable=SC2086
+clang-tidy -p "$BUILD_DIR" --quiet $FILES
