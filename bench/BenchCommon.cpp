@@ -4,7 +4,10 @@
 
 #include "PaperData.h"
 
+#include "support/Error.h"
+
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 using namespace allocsim;
@@ -15,12 +18,18 @@ allocsim::parseBenchOptions(int Argc, const char *const *Argv,
   Cli.addFlag("scale", "8", "divide paper allocation counts by this");
   Cli.addFlag("seed", "1592932958", "workload RNG seed");
   Cli.addFlag("csv", "false", "emit CSV instead of aligned text");
+  Cli.addFlag("jobs", "0",
+              "matrix worker threads (0 = all hardware threads)");
+  Cli.addFlag("out-json", "",
+              "export the full experiment matrix as JSON to this path");
   if (!Cli.parse(Argc, Argv))
     return std::nullopt;
   BenchOptions Options;
   Options.Scale = static_cast<uint32_t>(Cli.getInt("scale"));
   Options.Seed = static_cast<uint64_t>(Cli.getInt("seed"));
   Options.Csv = Cli.getBool("csv");
+  Options.Jobs = static_cast<uint32_t>(Cli.getInt("jobs"));
+  Options.OutJson = Cli.getString("out-json");
   return Options;
 }
 
@@ -57,14 +66,47 @@ std::string allocsim::formatRate(double Value) {
   return Buffer;
 }
 
+ResultStore allocsim::runBenchMatrix(const std::vector<WorkloadId> &Workloads,
+                                     const std::vector<CacheConfig> &Caches,
+                                     const BenchOptions &Options) {
+  MatrixSpec Spec;
+  Spec.Workloads = Workloads;
+  Spec.Allocators.assign(PaperAllocators, PaperAllocators + 5);
+  Spec.Caches = Caches;
+  Spec.Base = baseConfig(Workloads.front(), Options);
+
+  MatrixOptions Run;
+  Run.Jobs = Options.Jobs;
+  ResultStore Store = runMatrix(Spec, Run);
+
+  for (size_t I = 0; I != Store.size(); ++I) {
+    const CellOutcome &Cell = Store.cell(I);
+    if (!Cell.Ok)
+      reportFatalError(std::string("bench matrix cell failed: workload ") +
+                       workloadName(Cell.Workload) + ", allocator " +
+                       allocatorKindName(Cell.Allocator) + ": " +
+                       Cell.Error);
+  }
+
+  if (!Options.OutJson.empty()) {
+    std::ofstream Out(Options.OutJson);
+    if (!Out)
+      reportFatalError("cannot write '" + Options.OutJson + "'");
+    Store.writeJson(Out);
+  }
+  return Store;
+}
+
 std::vector<std::vector<RunResult>>
 allocsim::runTimeStudy(uint32_t CacheKb, const BenchOptions &Options) {
+  ResultStore Store = runBenchMatrix(
+      {PaperWorkloads, PaperWorkloads + 5},
+      {CacheConfig{CacheKb * 1024, 32, 1}}, Options);
   std::vector<std::vector<RunResult>> Results;
-  for (WorkloadId Workload : PaperWorkloads) {
-    ExperimentConfig Config = baseConfig(Workload, Options);
-    Config.Caches = {CacheConfig{CacheKb * 1024, 32, 1}};
-    Results.push_back(
-        runSweep(Config, {PaperAllocators, PaperAllocators + 5}));
+  for (size_t W = 0; W != 5; ++W) {
+    Results.emplace_back();
+    for (size_t A = 0; A != 5; ++A)
+      Results.back().push_back(Store.at(W, A).Result);
   }
   return Results;
 }

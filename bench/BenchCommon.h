@@ -8,11 +8,15 @@
 /// Flag handling and formatting shared by the per-table/per-figure
 /// benchmark binaries. Every binary accepts:
 ///
-///   --scale N   divide the paper's allocation counts by N (default 8;
-///               workloads that cannot be scaled without shrinking their
-///               live heap, like PTC, are clamped automatically)
-///   --seed S    workload RNG seed
-///   --csv       emit CSV instead of aligned text
+///   --scale N      divide the paper's allocation counts by N (default 8;
+///                  workloads that cannot be scaled without shrinking their
+///                  live heap, like PTC, are clamped automatically)
+///   --seed S       workload RNG seed
+///   --csv          emit CSV instead of aligned text
+///   --jobs N       MatrixRunner worker threads for the sweep benches
+///                  (0 = all hardware threads; results are bit-identical
+///                  at any job count)
+///   --out-json P   also export the full experiment matrix as JSON to P
 ///
 /// and prints the paper artifact it regenerates, alongside the paper's
 /// published values where the scanned text preserves them.
@@ -23,6 +27,7 @@
 #define ALLOCSIM_BENCH_BENCHCOMMON_H
 
 #include "core/Lab.h"
+#include "core/MatrixRunner.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
 
@@ -36,6 +41,11 @@ struct BenchOptions {
   uint32_t Scale = 8;
   uint64_t Seed = 0x5EEDBA5E;
   bool Csv = false;
+  /// MatrixRunner worker threads (0 = all hardware threads).
+  uint32_t Jobs = 0;
+  /// When non-empty, matrix-backed benches also export their full
+  /// ResultStore as JSON to this path.
+  std::string OutJson;
 };
 
 /// Registers and parses the common flags (plus any caller-registered ones
@@ -57,8 +67,18 @@ ExperimentConfig baseConfig(WorkloadId Workload, const BenchOptions &Options);
 /// Formats a fault rate the way the paper's log-scale figures label it.
 std::string formatRate(double Value);
 
+/// Runs \p Workloads x PaperAllocators through the MatrixRunner at
+/// Options.Jobs workers, with every cell observing all of \p Caches.
+/// Exports the matrix to Options.OutJson when set, and dies with the
+/// cell's attribution if any cell fails (the paper sweeps have no
+/// legitimately failing cells). Index the store with at(W, A).
+ResultStore runBenchMatrix(const std::vector<WorkloadId> &Workloads,
+                           const std::vector<CacheConfig> &Caches,
+                           const BenchOptions &Options);
+
 /// Runs the Figure 4/5 and Table 4/5 study: every paper workload under
-/// every paper allocator with one direct-mapped cache of \p CacheKb.
+/// every paper allocator with one direct-mapped cache of \p CacheKb,
+/// through the MatrixRunner (parallel across cells, deterministic).
 /// Returns Results[workload][allocator] in PaperWorkloads/PaperAllocators
 /// order.
 std::vector<std::vector<RunResult>> runTimeStudy(uint32_t CacheKb,

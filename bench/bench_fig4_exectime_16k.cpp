@@ -8,6 +8,10 @@
 // Shape to reproduce: cache misses add up to ~25% to execution time, and
 // the addition differs sharply by allocator (FIRSTFIT worst).
 //
+// The 5-workload x 5-allocator study runs as one MatrixRunner sweep
+// (--jobs workers; results are bit-identical at any job count) and exports
+// to JSON with --out-json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"

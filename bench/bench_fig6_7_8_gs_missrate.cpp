@@ -4,6 +4,10 @@
 // three input sets (GS-Small, GS-Medium, GS-Large) as the direct-mapped
 // cache grows from 16K to 256K, for all five allocators.
 //
+// The whole 3-input x 5-allocator study runs as one MatrixRunner sweep
+// (--jobs workers; results are bit-identical at any job count) and exports
+// to JSON with --out-json.
+//
 // Shapes to reproduce: FIRSTFIT's miss rate is the highest for every input
 // set and cache size, with GNU G++ second; the rest form a close cluster
 // whose internal order shifts with the input set; differences are muted for
@@ -32,24 +36,26 @@ int main(int Argc, char **Argv) {
                           {WorkloadId::GsMedium, "Figure 7 (GS-Medium)"},
                           {WorkloadId::Gs, "Figure 8 (GS-Large)"}};
 
-  for (const Input &In : Inputs) {
-    ExperimentConfig Config = baseConfig(In.Workload, *Options);
-    Config.Caches = paperCacheSweep();
-    std::vector<RunResult> Results =
-        runSweep(Config, {PaperAllocators, PaperAllocators + 5});
+  const std::vector<CacheConfig> Caches = paperCacheSweep();
+  ResultStore Store = runBenchMatrix(
+      {Inputs[0].Workload, Inputs[1].Workload, Inputs[2].Workload}, Caches,
+      *Options);
 
+  for (size_t In = 0; In != 3; ++In) {
     std::vector<std::string> Headers = {"cache KB"};
     for (AllocatorKind Allocator : PaperAllocators)
       Headers.emplace_back(allocatorKindName(Allocator));
     Table Out(Headers);
-    for (size_t CacheIdx = 0; CacheIdx != Config.Caches.size(); ++CacheIdx) {
+    for (size_t CacheIdx = 0; CacheIdx != Caches.size(); ++CacheIdx) {
       Out.beginRow();
-      Out.num(uint64_t(Config.Caches[CacheIdx].SizeBytes / 1024));
-      for (const RunResult &Result : Results)
-        Out.num(100.0 * Result.Caches[CacheIdx].Stats.missRate(), 2);
+      Out.num(uint64_t(Caches[CacheIdx].SizeBytes / 1024));
+      for (size_t A = 0; A != 5; ++A)
+        Out.num(100.0 * Store.at(In, A).Result.Caches[CacheIdx].Stats
+                            .missRate(),
+                2);
     }
     renderTable(Out, *Options,
-                std::string(In.Figure) + ": miss rate (%)");
+                std::string(Inputs[In].Figure) + ": miss rate (%)");
   }
   return 0;
 }

@@ -4,6 +4,10 @@
 // cache misses with a 16-kilobyte direct-mapped cache, in all five
 // allocation-intensive programs, next to the paper's published seconds.
 //
+// The 5-workload x 5-allocator study runs as one MatrixRunner sweep
+// (--jobs workers; results are bit-identical at any job count) and exports
+// to JSON with --out-json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"

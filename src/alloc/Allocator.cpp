@@ -40,25 +40,35 @@ const char *allocsim::allocatorKindName(AllocatorKind Kind) {
   unreachable("unknown allocator kind");
 }
 
-AllocatorKind allocsim::parseAllocatorKind(const std::string &Name) {
+bool allocsim::tryParseAllocatorKind(const std::string &Name,
+                                     AllocatorKind &Kind) {
   std::string Lower = Name;
   std::transform(Lower.begin(), Lower.end(), Lower.begin(),
                  [](unsigned char C) { return std::tolower(C); });
   if (Lower == "firstfit" || Lower == "first-fit")
-    return AllocatorKind::FirstFit;
-  if (Lower == "gnug++" || Lower == "gnugxx" || Lower == "g++")
-    return AllocatorKind::GnuGxx;
-  if (Lower == "bsd")
-    return AllocatorKind::Bsd;
-  if (Lower == "gnulocal" || Lower == "gnu-local")
-    return AllocatorKind::GnuLocal;
-  if (Lower == "quickfit" || Lower == "quick-fit")
-    return AllocatorKind::QuickFit;
-  if (Lower == "custom")
-    return AllocatorKind::Custom;
-  if (Lower == "bestfit" || Lower == "best-fit")
-    return AllocatorKind::BestFit;
-  reportFatalError("unknown allocator name '" + Name + "'");
+    Kind = AllocatorKind::FirstFit;
+  else if (Lower == "gnug++" || Lower == "gnugxx" || Lower == "g++")
+    Kind = AllocatorKind::GnuGxx;
+  else if (Lower == "bsd")
+    Kind = AllocatorKind::Bsd;
+  else if (Lower == "gnulocal" || Lower == "gnu-local")
+    Kind = AllocatorKind::GnuLocal;
+  else if (Lower == "quickfit" || Lower == "quick-fit")
+    Kind = AllocatorKind::QuickFit;
+  else if (Lower == "custom")
+    Kind = AllocatorKind::Custom;
+  else if (Lower == "bestfit" || Lower == "best-fit")
+    Kind = AllocatorKind::BestFit;
+  else
+    return false;
+  return true;
+}
+
+AllocatorKind allocsim::parseAllocatorKind(const std::string &Name) {
+  AllocatorKind Kind;
+  if (!tryParseAllocatorKind(Name, Kind))
+    reportFatalError("unknown allocator name '" + Name + "'");
+  return Kind;
 }
 
 Addr Allocator::malloc(uint32_t Size) {

@@ -53,6 +53,10 @@ const char *allocatorKindName(AllocatorKind Kind);
 /// Parses a display name (case-insensitive); fatal error on unknown name.
 AllocatorKind parseAllocatorKind(const std::string &Name);
 
+/// Like parseAllocatorKind, but reports an unknown name by returning false
+/// instead of dying (for tools that want to print a diagnostic and exit).
+bool tryParseAllocatorKind(const std::string &Name, AllocatorKind &Kind);
+
 /// Usage statistics every allocator tracks.
 struct AllocatorStats {
   uint64_t MallocCalls = 0;

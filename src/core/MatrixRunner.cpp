@@ -1,0 +1,517 @@
+//===- core/MatrixRunner.cpp - Parallel experiment-matrix engine ----------===//
+
+#include "core/MatrixRunner.h"
+
+#include "support/Rng.h"
+#include "support/SpecParse.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+using namespace allocsim;
+
+//===----------------------------------------------------------------------===//
+// Expansion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Seed for workload ordinal \p WorkloadIdx: decorrelated across workloads,
+/// identical across allocators and penalties, independent of scheduling.
+uint64_t cellSeed(const MatrixSpec &Spec, size_t WorkloadIdx) {
+  if (!Spec.SaltSeedPerWorkload)
+    return Spec.Base.Engine.Seed;
+  SplitMix64 Mix(Spec.Base.Engine.Seed +
+                 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(WorkloadIdx));
+  return Mix.next();
+}
+
+/// Returns a description of what makes \p Config unrunnable, or "" if it is
+/// sound. Validation failures become recorded cell errors, not aborts.
+std::string validateCellConfig(const ExperimentConfig &Config) {
+  for (const CacheConfig &Cache : Config.Caches)
+    if (!Cache.valid())
+      return "invalid cache geometry '" + Cache.describe() + "'";
+  if (Config.MissPenaltyCycles == 0)
+    return "miss penalty must be positive";
+  if (Config.Engine.Scale == 0)
+    return "engine scale must be positive";
+  for (uint32_t MemoryKb : Config.PagingMemoryKb)
+    if (MemoryKb == 0)
+      return "paging memory size must be positive";
+  return "";
+}
+
+} // namespace
+
+std::vector<MatrixCell> allocsim::expandMatrix(const MatrixSpec &Spec) {
+  std::vector<MatrixCell> Cells;
+  Cells.reserve(Spec.cellCount());
+  for (size_t W = 0; W != Spec.Workloads.size(); ++W)
+    for (size_t A = 0; A != Spec.Allocators.size(); ++A)
+      for (size_t P = 0; P != Spec.PenaltiesCycles.size(); ++P) {
+        MatrixCell Cell;
+        Cell.Coord = {Cells.size(), W, A, P};
+        Cell.Config = Spec.Base;
+        Cell.Config.Workload = Spec.Workloads[W];
+        Cell.Config.Allocator = Spec.Allocators[A];
+        Cell.Config.MissPenaltyCycles = Spec.PenaltiesCycles[P];
+        Cell.Config.Caches = Spec.Caches;
+        Cell.Config.PagingMemoryKb = Spec.PagingMemoryKb;
+        Cell.Config.Engine.Seed = cellSeed(Spec, W);
+        Cells.push_back(std::move(Cell));
+      }
+  return Cells;
+}
+
+//===----------------------------------------------------------------------===//
+// ResultStore
+//===----------------------------------------------------------------------===//
+
+ResultStore::ResultStore(const MatrixSpec &StoreSpec)
+    : Spec(StoreSpec), Cells(StoreSpec.cellCount()) {}
+
+const CellOutcome &ResultStore::at(size_t WorkloadIdx, size_t AllocatorIdx,
+                                   size_t PenaltyIdx) const {
+  size_t Index = (WorkloadIdx * Spec.Allocators.size() + AllocatorIdx) *
+                     Spec.PenaltiesCycles.size() +
+                 PenaltyIdx;
+  return Cells.at(Index);
+}
+
+size_t ResultStore::failedCount() const {
+  size_t Failed = 0;
+  for (const CellOutcome &Cell : Cells)
+    if (!Cell.Ok)
+      ++Failed;
+  return Failed;
+}
+
+void ResultStore::put(size_t Index, CellOutcome Outcome) {
+  Cells.at(Index) = std::move(Outcome);
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size() + 2);
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buffer;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string jsonDouble(double Value) {
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  return Buffer;
+}
+
+void writeCacheConfigJson(std::ostream &OS, const CacheConfig &Config) {
+  OS << "{\"size_kb\": " << Config.SizeBytes / 1024
+     << ", \"block_bytes\": " << Config.BlockBytes
+     << ", \"assoc\": " << Config.Assoc << "}";
+}
+
+/// Shared body for writeJson / writeGoldenJson; \p WithDoubles controls
+/// whether derived floating-point values (miss rates, time estimates,
+/// fault rates) are included — the golden form is integers only so exact
+/// equality is meaningful on every platform.
+void writeMatrixJson(std::ostream &OS, const MatrixSpec &Spec,
+                     const std::vector<CellOutcome> &Cells,
+                     bool WithDoubles) {
+  OS << "{\n";
+  OS << "  \"schema\": \"allocsim-matrix-v1\",\n";
+  OS << "  \"golden\": " << (WithDoubles ? "false" : "true") << ",\n";
+
+  OS << "  \"axes\": {\n    \"workloads\": [";
+  for (size_t I = 0; I != Spec.Workloads.size(); ++I)
+    OS << (I ? ", " : "") << '"' << workloadName(Spec.Workloads[I]) << '"';
+  OS << "],\n    \"allocators\": [";
+  for (size_t I = 0; I != Spec.Allocators.size(); ++I)
+    OS << (I ? ", " : "") << '"' << allocatorKindName(Spec.Allocators[I])
+       << '"';
+  OS << "],\n    \"penalties_cycles\": [";
+  for (size_t I = 0; I != Spec.PenaltiesCycles.size(); ++I)
+    OS << (I ? ", " : "") << Spec.PenaltiesCycles[I];
+  OS << "],\n    \"caches\": [";
+  for (size_t I = 0; I != Spec.Caches.size(); ++I) {
+    OS << (I ? ", " : "");
+    writeCacheConfigJson(OS, Spec.Caches[I]);
+  }
+  OS << "],\n    \"paging_memory_kb\": [";
+  for (size_t I = 0; I != Spec.PagingMemoryKb.size(); ++I)
+    OS << (I ? ", " : "") << Spec.PagingMemoryKb[I];
+  OS << "]\n  },\n";
+
+  OS << "  \"engine\": {\"scale\": " << Spec.Base.Engine.Scale
+     << ", \"seed\": " << Spec.Base.Engine.Seed
+     << ", \"salt_seed_per_workload\": "
+     << (Spec.SaltSeedPerWorkload ? "true" : "false") << "},\n";
+
+  OS << "  \"cells\": [";
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    const CellOutcome &Cell = Cells[I];
+    OS << (I ? ",\n" : "\n") << "    {";
+    OS << "\"workload\": \"" << workloadName(Cell.Workload) << "\", ";
+    OS << "\"allocator\": \"" << allocatorKindName(Cell.Allocator) << "\", ";
+    OS << "\"penalty_cycles\": " << Cell.PenaltyCycles << ", ";
+    OS << "\"seed\": " << Cell.Seed << ", ";
+    OS << "\"ok\": " << (Cell.Ok ? "true" : "false");
+    if (!Cell.Ok) {
+      OS << ", \"error\": \"" << jsonEscape(Cell.Error) << "\"}";
+      continue;
+    }
+    const RunResult &R = Cell.Result;
+    OS << ",\n     \"app_instructions\": " << R.AppInstructions
+       << ", \"alloc_instructions\": " << R.AllocInstructions
+       << ",\n     \"total_refs\": " << R.TotalRefs
+       << ", \"app_refs\": " << R.AppRefs
+       << ", \"alloc_refs\": " << R.AllocRefs
+       << ", \"tag_refs\": " << R.TagRefs
+       << ",\n     \"malloc_calls\": " << R.Alloc.MallocCalls
+       << ", \"free_calls\": " << R.Alloc.FreeCalls
+       << ", \"bytes_requested\": " << R.Alloc.BytesRequested
+       << ", \"max_live_bytes\": " << R.Alloc.MaxLiveBytes
+       << ",\n     \"heap_bytes\": " << R.HeapBytes
+       << ", \"blocks_searched\": " << R.BlocksSearched
+       << ", \"distinct_pages\": " << R.DistinctPages
+       << ", \"check_violations\": " << R.CheckViolations;
+
+    OS << ",\n     \"caches\": [";
+    for (size_t C = 0; C != R.Caches.size(); ++C) {
+      const CacheResult &Cache = R.Caches[C];
+      OS << (C ? ", " : "") << "{\"size_kb\": "
+         << Cache.Config.SizeBytes / 1024
+         << ", \"accesses\": " << Cache.Stats.Accesses
+         << ", \"misses\": " << Cache.Stats.Misses;
+      for (unsigned S = 0; S != NumAccessSources; ++S)
+        OS << ", \"misses_" << accessSourceName(AccessSource(S))
+           << "\": " << Cache.Stats.MissesBySource[S];
+      if (WithDoubles)
+        OS << ", \"miss_rate\": " << jsonDouble(Cache.Stats.missRate())
+           << ", \"est_seconds\": " << jsonDouble(Cache.Time.seconds());
+      OS << "}";
+    }
+    OS << "]";
+
+    OS << ", \"paging\": [";
+    for (size_t P = 0; P != R.Paging.size(); ++P) {
+      OS << (P ? ", " : "") << "{\"memory_kb\": " << R.Paging[P].MemoryKb;
+      if (WithDoubles)
+        OS << ", \"faults_per_ref\": "
+           << jsonDouble(R.Paging[P].FaultsPerRef);
+      OS << "}";
+    }
+    OS << "]}";
+  }
+  OS << "\n  ]\n}\n";
+}
+
+} // namespace
+
+void ResultStore::writeJson(std::ostream &OS) const {
+  writeMatrixJson(OS, Spec, Cells, /*WithDoubles=*/true);
+}
+
+void ResultStore::writeGoldenJson(std::ostream &OS) const {
+  writeMatrixJson(OS, Spec, Cells, /*WithDoubles=*/false);
+}
+
+void ResultStore::writeCsv(std::ostream &OS) const {
+  OS << "workload,allocator,penalty_cycles,ok,error,seed,"
+        "app_instructions,alloc_instructions,total_refs,app_refs,"
+        "alloc_refs,tag_refs,malloc_calls,free_calls,heap_bytes,"
+        "blocks_searched,distinct_pages,"
+        "cache_kb,cache_block_bytes,cache_assoc,cache_accesses,"
+        "cache_misses,cache_miss_rate,est_seconds\n";
+  for (const CellOutcome &Cell : Cells) {
+    std::string Prefix;
+    {
+      std::string ErrorField = Cell.Error;
+      for (char &C : ErrorField)
+        if (C == ',' || C == '\n')
+          C = ' ';
+      const RunResult &R = Cell.Result;
+      Prefix = std::string(workloadName(Cell.Workload)) + "," +
+               allocatorKindName(Cell.Allocator) + "," +
+               std::to_string(Cell.PenaltyCycles) + "," +
+               (Cell.Ok ? "1" : "0") + "," + ErrorField + "," +
+               std::to_string(Cell.Seed) + "," +
+               std::to_string(R.AppInstructions) + "," +
+               std::to_string(R.AllocInstructions) + "," +
+               std::to_string(R.TotalRefs) + "," + std::to_string(R.AppRefs) +
+               "," + std::to_string(R.AllocRefs) + "," +
+               std::to_string(R.TagRefs) + "," +
+               std::to_string(R.Alloc.MallocCalls) + "," +
+               std::to_string(R.Alloc.FreeCalls) + "," +
+               std::to_string(R.HeapBytes) + "," +
+               std::to_string(R.BlocksSearched) + "," +
+               std::to_string(R.DistinctPages);
+    }
+    if (!Cell.Ok || Cell.Result.Caches.empty()) {
+      OS << Prefix << ",,,,,,,\n";
+      continue;
+    }
+    for (const CacheResult &Cache : Cell.Result.Caches)
+      OS << Prefix << "," << Cache.Config.SizeBytes / 1024 << ","
+         << Cache.Config.BlockBytes << "," << Cache.Config.Assoc << ","
+         << Cache.Stats.Accesses << "," << Cache.Stats.Misses << ","
+         << jsonDouble(Cache.Stats.missRate()) << ","
+         << jsonDouble(Cache.Time.seconds()) << "\n";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CellOutcome
+runCell(const MatrixCell &Cell,
+        const std::function<RunResult(const ExperimentConfig &)> &Runner) {
+  CellOutcome Outcome;
+  Outcome.Coord = Cell.Coord;
+  Outcome.Workload = Cell.Config.Workload;
+  Outcome.Allocator = Cell.Config.Allocator;
+  Outcome.PenaltyCycles = Cell.Config.MissPenaltyCycles;
+  Outcome.Seed = Cell.Config.Engine.Seed;
+
+  std::string Invalid = validateCellConfig(Cell.Config);
+  if (!Invalid.empty()) {
+    Outcome.Error = Invalid;
+    return Outcome;
+  }
+  try {
+    Outcome.Result = Runner ? Runner(Cell.Config)
+                            : runExperiment(Cell.Config);
+    Outcome.Ok = true;
+  } catch (const std::exception &E) {
+    Outcome.Error = E.what();
+  } catch (...) {
+    Outcome.Error = "unknown exception";
+  }
+  return Outcome;
+}
+
+} // namespace
+
+ResultStore allocsim::runMatrix(const MatrixSpec &Spec,
+                                const MatrixOptions &Options) {
+  std::vector<MatrixCell> Cells = expandMatrix(Spec);
+  ResultStore Store(Spec);
+
+  unsigned Jobs = Options.Jobs;
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+  }
+  if (Jobs > Cells.size())
+    Jobs = static_cast<unsigned>(Cells.size());
+
+  auto Start = std::chrono::steady_clock::now();
+  std::atomic<size_t> NextCell{0};
+  std::mutex ProgressMutex;
+  size_t Completed = 0, Failed = 0;
+
+  auto FinishCell = [&](size_t Index, CellOutcome Outcome) {
+    bool Ok = Outcome.Ok;
+    Store.put(Index, std::move(Outcome));
+    std::lock_guard<std::mutex> Lock(ProgressMutex);
+    ++Completed;
+    if (!Ok)
+      ++Failed;
+    if (Options.Progress) {
+      MatrixProgress Progress;
+      Progress.Completed = Completed;
+      Progress.Total = Cells.size();
+      Progress.Failed = Failed;
+      Progress.ElapsedSeconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count();
+      Progress.EtaSeconds =
+          Completed == 0
+              ? 0.0
+              : Progress.ElapsedSeconds *
+                    static_cast<double>(Cells.size() - Completed) /
+                    static_cast<double>(Completed);
+      Options.Progress(Progress);
+    }
+  };
+
+  auto Worker = [&] {
+    for (;;) {
+      size_t Index = NextCell.fetch_add(1, std::memory_order_relaxed);
+      if (Index >= Cells.size())
+        return;
+      FinishCell(Index, runCell(Cells[Index], Options.CellRunner));
+    }
+  };
+
+  if (Jobs <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Jobs);
+    for (unsigned I = 0; I != Jobs; ++I)
+      Threads.emplace_back(Worker);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  return Store;
+}
+
+//===----------------------------------------------------------------------===//
+// Spec parsing
+//===----------------------------------------------------------------------===//
+
+bool allocsim::parseCacheSpec(const std::string &Spec, CacheConfig &Config,
+                              std::string &Error) {
+  std::vector<std::string> Parts = splitSpecList(Spec, ':');
+  if (Parts.empty() || Parts.size() > 3) {
+    Error = "bad cache spec '" + Spec +
+            "': expected sizeKB[:blockBytes[:assoc]]";
+    return false;
+  }
+  uint32_t SizeKb = 0;
+  if (!parseSpecUnsigned(Parts[0], "cache size (KB)", SizeKb, Error))
+    return false;
+  Config.SizeBytes = SizeKb * 1024;
+  Config.BlockBytes = 32;
+  Config.Assoc = 1;
+  if (Parts.size() > 1 &&
+      !parseSpecUnsigned(Parts[1], "cache block bytes", Config.BlockBytes,
+                         Error))
+    return false;
+  if (Parts.size() > 2 &&
+      !parseSpecUnsigned(Parts[2], "cache associativity", Config.Assoc,
+                         Error))
+    return false;
+  if (!Config.valid()) {
+    Error = "invalid cache geometry '" + Spec +
+            "': sizes must be powers of two and consistent";
+    return false;
+  }
+  return true;
+}
+
+bool allocsim::parseCacheList(const std::string &Text,
+                              std::vector<CacheConfig> &Out,
+                              std::string &Error) {
+  Out.clear();
+  for (const std::string &Item : splitSpecList(Text, ',')) {
+    if (Item.empty()) {
+      Error = "bad cache list '" + Text +
+              "': empty item (stray or trailing comma)";
+      return false;
+    }
+    CacheConfig Config;
+    if (!parseCacheSpec(Item, Config, Error))
+      return false;
+    Out.push_back(Config);
+  }
+  return true;
+}
+
+bool allocsim::parseMatrixSpec(const std::string &Text, MatrixSpec &Spec,
+                               std::string &Error) {
+  Spec.Workloads.clear();
+  Spec.Allocators.clear();
+  Spec.PenaltiesCycles = {25};
+  Spec.Caches.clear();
+  Spec.PagingMemoryKb.clear();
+
+  for (const std::string &Axis : splitSpecList(Text, ';')) {
+    if (Axis.empty()) {
+      Error = "bad matrix spec: empty axis (stray or trailing ';')";
+      return false;
+    }
+    std::string::size_type Eq = Axis.find('=');
+    if (Eq == std::string::npos) {
+      Error = "bad matrix axis '" + Axis + "': expected key=value";
+      return false;
+    }
+    std::string Key = Axis.substr(0, Eq);
+    std::string Value = Axis.substr(Eq + 1);
+    if (Key == "workloads") {
+      for (const std::string &Name : splitSpecList(Value, ',')) {
+        WorkloadId Id;
+        if (!tryParseWorkload(Name, Id)) {
+          Error = "unknown workload '" + Name + "' in matrix spec";
+          return false;
+        }
+        Spec.Workloads.push_back(Id);
+      }
+    } else if (Key == "allocators") {
+      for (const std::string &Name : splitSpecList(Value, ',')) {
+        AllocatorKind Kind;
+        if (!tryParseAllocatorKind(Name, Kind)) {
+          Error = "unknown allocator '" + Name + "' in matrix spec";
+          return false;
+        }
+        Spec.Allocators.push_back(Kind);
+      }
+    } else if (Key == "caches") {
+      if (!parseCacheList(Value, Spec.Caches, Error))
+        return false;
+    } else if (Key == "paging") {
+      if (!parseSpecUnsignedList(Value, "paging memory size (KB)",
+                                 Spec.PagingMemoryKb, Error))
+        return false;
+    } else if (Key == "penalty") {
+      if (!parseSpecUnsignedList(Value, "miss penalty (cycles)",
+                                 Spec.PenaltiesCycles, Error))
+        return false;
+      if (Spec.PenaltiesCycles.empty()) {
+        Error = "matrix axis 'penalty' must list at least one value";
+        return false;
+      }
+    } else {
+      Error = "unknown matrix axis '" + Key +
+              "' (expected workloads/allocators/caches/paging/penalty)";
+      return false;
+    }
+  }
+  if (Spec.Workloads.empty()) {
+    Error = "matrix spec must name at least one workload "
+            "(workloads=gs,espresso,...)";
+    return false;
+  }
+  if (Spec.Allocators.empty()) {
+    Error = "matrix spec must name at least one allocator "
+            "(allocators=FirstFit,BSD,...)";
+    return false;
+  }
+  return true;
+}

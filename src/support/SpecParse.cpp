@@ -1,0 +1,68 @@
+//===- support/SpecParse.cpp - Diagnostic list/number parsing -------------===//
+
+#include "support/SpecParse.h"
+
+#include <cstdlib>
+
+using namespace allocsim;
+
+std::vector<std::string> allocsim::splitSpecList(const std::string &Text,
+                                                 char Sep) {
+  std::vector<std::string> Parts;
+  if (Text.empty())
+    return Parts;
+  std::string::size_type Start = 0;
+  for (;;) {
+    std::string::size_type End = Text.find(Sep, Start);
+    if (End == std::string::npos) {
+      Parts.push_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Start, End - Start));
+    Start = End + 1;
+  }
+}
+
+bool allocsim::parseSpecUnsigned(const std::string &Text,
+                                 const std::string &What, uint32_t &Value,
+                                 std::string &Error) {
+  if (Text.empty()) {
+    Error = "missing " + What;
+    return false;
+  }
+  char *End = nullptr;
+  unsigned long Parsed = std::strtoul(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0') {
+    Error = "bad " + What + ": '" + Text + "' is not a number";
+    return false;
+  }
+  if (Parsed == 0) {
+    Error = "bad " + What + ": must be positive, got '" + Text + "'";
+    return false;
+  }
+  if (Parsed > 0xFFFFFFFFul) {
+    Error = "bad " + What + ": '" + Text + "' is out of range";
+    return false;
+  }
+  Value = static_cast<uint32_t>(Parsed);
+  return true;
+}
+
+bool allocsim::parseSpecUnsignedList(const std::string &Text,
+                                     const std::string &What,
+                                     std::vector<uint32_t> &Values,
+                                     std::string &Error) {
+  Values.clear();
+  for (const std::string &Item : splitSpecList(Text, ',')) {
+    if (Item.empty()) {
+      Error = "bad " + What + " list '" + Text +
+              "': empty item (stray or trailing comma)";
+      return false;
+    }
+    uint32_t Value = 0;
+    if (!parseSpecUnsigned(Item, What, Value, Error))
+      return false;
+    Values.push_back(Value);
+  }
+  return true;
+}

@@ -1,0 +1,45 @@
+//===- support/SpecParse.h - Diagnostic list/number parsing -----*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strict, diagnostic-returning parsers for the comma/colon-separated spec
+/// strings the tools accept (--caches, --paging, --matrix). Unlike the old
+/// ad-hoc splitting, empty items are *kept*, so malformed specs such as
+/// "16,,64" or a trailing comma surface as errors instead of being silently
+/// swallowed. Nothing here aborts: every parser reports failure through a
+/// bool + error message so tools can print a usage-friendly diagnostic and
+/// exit nonzero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_SUPPORT_SPECPARSE_H
+#define ALLOCSIM_SUPPORT_SPECPARSE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace allocsim {
+
+/// Splits \p Text on \p Sep, keeping empty items (so validation can reject
+/// them with a precise message). An empty \p Text yields an empty list, not
+/// a list with one empty item.
+std::vector<std::string> splitSpecList(const std::string &Text, char Sep);
+
+/// Parses a positive decimal integer. On failure, returns false and sets
+/// \p Error to a message naming \p What and the offending text.
+bool parseSpecUnsigned(const std::string &Text, const std::string &What,
+                       uint32_t &Value, std::string &Error);
+
+/// Parses a comma-separated list of positive integers (e.g. the --paging
+/// memory sizes). An empty \p Text yields an empty list. Empty items,
+/// trailing separators, and non-numeric items are errors.
+bool parseSpecUnsignedList(const std::string &Text, const std::string &What,
+                           std::vector<uint32_t> &Values, std::string &Error);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_SUPPORT_SPECPARSE_H

@@ -40,27 +40,36 @@ const char *allocsim::workloadName(WorkloadId Id) {
   unreachable("unknown workload id");
 }
 
-WorkloadId allocsim::parseWorkload(const std::string &Name) {
+bool allocsim::tryParseWorkload(const std::string &Name, WorkloadId &Id) {
   std::string Lower = Name;
   std::transform(Lower.begin(), Lower.end(), Lower.begin(),
                  [](unsigned char C) { return std::tolower(C); });
   if (Lower == "espresso")
-    return WorkloadId::Espresso;
-  if (Lower == "gs" || Lower == "gs-large" || Lower == "ghostscript")
-    return WorkloadId::Gs;
-  if (Lower == "ptc")
-    return WorkloadId::Ptc;
-  if (Lower == "gawk")
-    return WorkloadId::Gawk;
-  if (Lower == "make")
-    return WorkloadId::Make;
-  if (Lower == "gs-small")
-    return WorkloadId::GsSmall;
-  if (Lower == "gs-medium")
-    return WorkloadId::GsMedium;
-  if (Lower == "cfrac")
-    return WorkloadId::Cfrac;
-  reportFatalError("unknown workload '" + Name + "'");
+    Id = WorkloadId::Espresso;
+  else if (Lower == "gs" || Lower == "gs-large" || Lower == "ghostscript")
+    Id = WorkloadId::Gs;
+  else if (Lower == "ptc")
+    Id = WorkloadId::Ptc;
+  else if (Lower == "gawk")
+    Id = WorkloadId::Gawk;
+  else if (Lower == "make")
+    Id = WorkloadId::Make;
+  else if (Lower == "gs-small")
+    Id = WorkloadId::GsSmall;
+  else if (Lower == "gs-medium")
+    Id = WorkloadId::GsMedium;
+  else if (Lower == "cfrac")
+    Id = WorkloadId::Cfrac;
+  else
+    return false;
+  return true;
+}
+
+WorkloadId allocsim::parseWorkload(const std::string &Name) {
+  WorkloadId Id;
+  if (!tryParseWorkload(Name, Id))
+    reportFatalError("unknown workload '" + Name + "'");
+  return Id;
 }
 
 namespace {

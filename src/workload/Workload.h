@@ -61,6 +61,9 @@ inline constexpr WorkloadId PaperWorkloads[] = {
 
 const char *workloadName(WorkloadId Id);
 WorkloadId parseWorkload(const std::string &Name);
+/// Like parseWorkload, but reports an unknown name by returning false
+/// instead of dying (for tools that want to print a diagnostic and exit).
+bool tryParseWorkload(const std::string &Name, WorkloadId &Id);
 
 /// One bin of the request-size mix; sizes are drawn uniformly from
 /// {Lo, Lo+Step, ..., <= Hi}. Lo == Hi models the dominant exact sizes.

@@ -1,0 +1,87 @@
+//===- tests/golden_matrix_test.cpp - Golden paper-number snapshot --------===//
+//
+// Re-runs a reduced allocator x workload matrix through the MatrixRunner
+// and diffs its integer-only serialization against the checked-in snapshot
+// tests/golden/paper_small.json with exact equality. Any allocator or
+// workload-engine change that silently shifts the paper's numbers fails
+// here instead of slipping into a figure.
+//
+// Updating the snapshot after an *intentional* behaviour change:
+//
+//   cmake --build build -j --target golden_matrix_test
+//   ALLOCSIM_UPDATE_GOLDEN=1 ./build/tests/golden_matrix_test
+//
+// then review the diff of tests/golden/paper_small.json like any other
+// code change — every shifted counter should be explainable by the change
+// you made.
+//
+// The golden form (ResultStore::writeGoldenJson) contains only integer
+// fields, so the comparison is exact on every platform; no doubles, no
+// formatting tolerance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MatrixRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace allocsim;
+
+#ifndef ALLOCSIM_GOLDEN_FILE
+#error "ALLOCSIM_GOLDEN_FILE must point at tests/golden/paper_small.json"
+#endif
+
+namespace {
+
+/// The snapshot matrix: a reduced-but-representative slice of the paper's
+/// study. Three allocators spanning the design space (sequential fit,
+/// exact-size quick lists, power-of-two segregated storage), two workloads
+/// (interpreter-heavy espresso, buffer-heavy GS-Small), the paper's 16K
+/// direct-mapped cache, one paging point. Fixed scale and seed: the
+/// snapshot is a function of nothing but the code.
+MatrixSpec goldenSpec() {
+  MatrixSpec Spec;
+  Spec.Workloads = {WorkloadId::Espresso, WorkloadId::GsSmall};
+  Spec.Allocators = {AllocatorKind::FirstFit, AllocatorKind::QuickFit,
+                     AllocatorKind::Bsd};
+  Spec.Caches = {CacheConfig{16 * 1024, 32, 1}};
+  Spec.PagingMemoryKb = {256};
+  Spec.Base.Engine.Scale = 128;
+  Spec.Base.Engine.Seed = 1592932958;
+  return Spec;
+}
+
+} // namespace
+
+TEST(GoldenMatrixTest, PaperSmallMatrixMatchesSnapshot) {
+  MatrixOptions Options;
+  Options.Jobs = 2;
+  ResultStore Store = runMatrix(goldenSpec(), Options);
+  ASSERT_EQ(Store.failedCount(), 0u);
+
+  std::ostringstream Current;
+  Store.writeGoldenJson(Current);
+
+  if (std::getenv("ALLOCSIM_UPDATE_GOLDEN")) {
+    std::ofstream Out(ALLOCSIM_GOLDEN_FILE);
+    ASSERT_TRUE(Out) << "cannot write " << ALLOCSIM_GOLDEN_FILE;
+    Out << Current.str();
+    GTEST_SKIP() << "snapshot updated: " << ALLOCSIM_GOLDEN_FILE;
+  }
+
+  std::ifstream In(ALLOCSIM_GOLDEN_FILE);
+  ASSERT_TRUE(In) << "missing snapshot " << ALLOCSIM_GOLDEN_FILE
+                  << " (generate with ALLOCSIM_UPDATE_GOLDEN=1, see file "
+                     "header)";
+  std::ostringstream Golden;
+  Golden << In.rdbuf();
+
+  EXPECT_EQ(Current.str(), Golden.str())
+      << "paper numbers shifted: if the change is intentional, regenerate "
+         "the snapshot (ALLOCSIM_UPDATE_GOLDEN=1, see test header) and "
+         "review its diff";
+}

@@ -1,0 +1,315 @@
+//===- tests/matrix_test.cpp - MatrixRunner determinism & policy tests ----===//
+//
+// The determinism regression suite: the same MatrixSpec run with Jobs=1 and
+// Jobs=8 must produce bit-identical RunResults in every cell — instruction
+// splits, reference counts, per-cache CacheStats, paging points, allocator
+// stats — because each cell's configuration (including its seed) is fixed
+// during expansion, never by scheduling order. Plus the failed-cell policy:
+// a failing cell is recorded with its coordinates and the rest of the sweep
+// completes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MatrixRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+using namespace allocsim;
+
+namespace {
+
+/// A small but non-trivial matrix: 2 workloads x 3 allocators x 2 penalties,
+/// every cell observing two cache geometries and two paging points.
+MatrixSpec smallSpec() {
+  MatrixSpec Spec;
+  Spec.Workloads = {WorkloadId::GsSmall, WorkloadId::Make};
+  Spec.Allocators = {AllocatorKind::FirstFit, AllocatorKind::QuickFit,
+                     AllocatorKind::Bsd};
+  Spec.PenaltiesCycles = {25, 100};
+  Spec.Caches = {CacheConfig{16 * 1024, 32, 1}, CacheConfig{64 * 1024, 32, 2}};
+  Spec.PagingMemoryKb = {256, 1024};
+  Spec.Base.Engine.Scale = 256;
+  Spec.Base.Engine.Seed = 0x5EEDBA5Eu;
+  return Spec;
+}
+
+void expectSameRunResult(const RunResult &A, const RunResult &B) {
+  EXPECT_EQ(A.AppInstructions, B.AppInstructions);
+  EXPECT_EQ(A.AllocInstructions, B.AllocInstructions);
+  EXPECT_EQ(A.TotalRefs, B.TotalRefs);
+  EXPECT_EQ(A.AppRefs, B.AppRefs);
+  EXPECT_EQ(A.AllocRefs, B.AllocRefs);
+  EXPECT_EQ(A.TagRefs, B.TagRefs);
+  EXPECT_EQ(A.Alloc.MallocCalls, B.Alloc.MallocCalls);
+  EXPECT_EQ(A.Alloc.FreeCalls, B.Alloc.FreeCalls);
+  EXPECT_EQ(A.Alloc.BytesRequested, B.Alloc.BytesRequested);
+  EXPECT_EQ(A.Alloc.LiveBytes, B.Alloc.LiveBytes);
+  EXPECT_EQ(A.Alloc.MaxLiveBytes, B.Alloc.MaxLiveBytes);
+  EXPECT_EQ(A.HeapBytes, B.HeapBytes);
+  EXPECT_EQ(A.BlocksSearched, B.BlocksSearched);
+  EXPECT_EQ(A.DistinctPages, B.DistinctPages);
+  EXPECT_EQ(A.CheckViolations, B.CheckViolations);
+  EXPECT_EQ(A.CheckWalks, B.CheckWalks);
+  EXPECT_EQ(A.CheckReports, B.CheckReports);
+
+  ASSERT_EQ(A.Caches.size(), B.Caches.size());
+  for (size_t I = 0; I != A.Caches.size(); ++I) {
+    EXPECT_EQ(A.Caches[I].Config.SizeBytes, B.Caches[I].Config.SizeBytes);
+    EXPECT_EQ(A.Caches[I].Config.BlockBytes, B.Caches[I].Config.BlockBytes);
+    EXPECT_EQ(A.Caches[I].Config.Assoc, B.Caches[I].Config.Assoc);
+    EXPECT_EQ(A.Caches[I].Stats.Accesses, B.Caches[I].Stats.Accesses);
+    EXPECT_EQ(A.Caches[I].Stats.Misses, B.Caches[I].Stats.Misses);
+    EXPECT_EQ(A.Caches[I].Stats.AccessesBySource,
+              B.Caches[I].Stats.AccessesBySource);
+    EXPECT_EQ(A.Caches[I].Stats.MissesBySource,
+              B.Caches[I].Stats.MissesBySource);
+    EXPECT_EQ(A.Caches[I].Time.Instructions, B.Caches[I].Time.Instructions);
+    EXPECT_EQ(A.Caches[I].Time.DataRefs, B.Caches[I].Time.DataRefs);
+    EXPECT_EQ(A.Caches[I].Time.MissRate, B.Caches[I].Time.MissRate);
+    EXPECT_EQ(A.Caches[I].Time.MissPenalty, B.Caches[I].Time.MissPenalty);
+  }
+
+  ASSERT_EQ(A.Paging.size(), B.Paging.size());
+  for (size_t I = 0; I != A.Paging.size(); ++I) {
+    EXPECT_EQ(A.Paging[I].MemoryKb, B.Paging[I].MemoryKb);
+    EXPECT_EQ(A.Paging[I].FaultsPerRef, B.Paging[I].FaultsPerRef);
+  }
+}
+
+} // namespace
+
+TEST(MatrixRunnerTest, ExpansionOrderAndSeeds) {
+  MatrixSpec Spec = smallSpec();
+  std::vector<MatrixCell> Cells = expandMatrix(Spec);
+  ASSERT_EQ(Cells.size(), Spec.cellCount());
+  ASSERT_EQ(Cells.size(), 12u);
+
+  for (size_t I = 0; I != Cells.size(); ++I)
+    EXPECT_EQ(Cells[I].Coord.Index, I);
+
+  // Workload-major, then allocator, then penalty.
+  EXPECT_EQ(Cells[0].Config.Workload, WorkloadId::GsSmall);
+  EXPECT_EQ(Cells[0].Config.Allocator, AllocatorKind::FirstFit);
+  EXPECT_EQ(Cells[0].Config.MissPenaltyCycles, 25u);
+  EXPECT_EQ(Cells[1].Config.MissPenaltyCycles, 100u);
+  EXPECT_EQ(Cells[2].Config.Allocator, AllocatorKind::QuickFit);
+  EXPECT_EQ(Cells[6].Config.Workload, WorkloadId::Make);
+
+  // Seeds: identical across allocators and penalties within a workload
+  // (the paper's identical-request-stream control), decorrelated across
+  // workloads, and derived from coordinates only.
+  for (const MatrixCell &Cell : Cells) {
+    EXPECT_EQ(Cell.Config.Engine.Seed,
+              Cells[Cell.Coord.WorkloadIdx * 6].Config.Engine.Seed);
+    EXPECT_EQ(Cell.Config.Caches.size(), 2u);
+    EXPECT_EQ(Cell.Config.PagingMemoryKb.size(), 2u);
+  }
+  EXPECT_NE(Cells[0].Config.Engine.Seed, Cells[6].Config.Engine.Seed);
+
+  Spec.SaltSeedPerWorkload = false;
+  std::vector<MatrixCell> Unsalted = expandMatrix(Spec);
+  for (const MatrixCell &Cell : Unsalted)
+    EXPECT_EQ(Cell.Config.Engine.Seed, Spec.Base.Engine.Seed);
+}
+
+TEST(MatrixRunnerTest, ParallelResultsBitIdenticalToSerial) {
+  MatrixSpec Spec = smallSpec();
+
+  MatrixOptions Serial;
+  Serial.Jobs = 1;
+  ResultStore StoreSerial = runMatrix(Spec, Serial);
+
+  MatrixOptions Parallel;
+  Parallel.Jobs = 8;
+  ResultStore StoreParallel = runMatrix(Spec, Parallel);
+
+  ASSERT_EQ(StoreSerial.size(), StoreParallel.size());
+  EXPECT_EQ(StoreSerial.failedCount(), 0u);
+  EXPECT_EQ(StoreParallel.failedCount(), 0u);
+
+  for (size_t I = 0; I != StoreSerial.size(); ++I) {
+    const CellOutcome &A = StoreSerial.cell(I);
+    const CellOutcome &B = StoreParallel.cell(I);
+    ASSERT_TRUE(A.Ok) << "serial cell " << I << ": " << A.Error;
+    ASSERT_TRUE(B.Ok) << "parallel cell " << I << ": " << B.Error;
+    EXPECT_EQ(A.Workload, B.Workload);
+    EXPECT_EQ(A.Allocator, B.Allocator);
+    EXPECT_EQ(A.PenaltyCycles, B.PenaltyCycles);
+    EXPECT_EQ(A.Seed, B.Seed);
+    expectSameRunResult(A.Result, B.Result);
+  }
+
+  // Serialized forms agree byte-for-byte as well.
+  std::ostringstream JsonSerial, JsonParallel;
+  StoreSerial.writeJson(JsonSerial);
+  StoreParallel.writeJson(JsonParallel);
+  EXPECT_EQ(JsonSerial.str(), JsonParallel.str());
+
+  std::ostringstream CsvSerial, CsvParallel;
+  StoreSerial.writeCsv(CsvSerial);
+  StoreParallel.writeCsv(CsvParallel);
+  EXPECT_EQ(CsvSerial.str(), CsvParallel.str());
+}
+
+TEST(MatrixRunnerTest, CoordinateLookupMatchesLinearOrder) {
+  MatrixSpec Spec = smallSpec();
+  MatrixOptions Options;
+  Options.Jobs = 4;
+  // Synthetic runner: encode the coordinates into counters so at() can be
+  // checked without paying for real simulations.
+  Options.CellRunner = [](const ExperimentConfig &Config) {
+    RunResult Result;
+    Result.TotalRefs = static_cast<uint64_t>(Config.Workload) * 10000 +
+                       static_cast<uint64_t>(Config.Allocator) * 100 +
+                       Config.MissPenaltyCycles;
+    return Result;
+  };
+  ResultStore Store = runMatrix(Spec, Options);
+  for (size_t W = 0; W != Spec.Workloads.size(); ++W)
+    for (size_t A = 0; A != Spec.Allocators.size(); ++A)
+      for (size_t P = 0; P != Spec.PenaltiesCycles.size(); ++P) {
+        const CellOutcome &Cell = Store.at(W, A, P);
+        EXPECT_EQ(Cell.Result.TotalRefs,
+                  static_cast<uint64_t>(Spec.Workloads[W]) * 10000 +
+                      static_cast<uint64_t>(Spec.Allocators[A]) * 100 +
+                      Spec.PenaltiesCycles[P]);
+      }
+}
+
+TEST(MatrixRunnerTest, FailedCellIsAttributedAndOthersComplete) {
+  MatrixSpec Spec = smallSpec();
+  MatrixOptions Options;
+  Options.Jobs = 8;
+  Options.CellRunner = [](const ExperimentConfig &Config) -> RunResult {
+    if (Config.Workload == WorkloadId::Make &&
+        Config.Allocator == AllocatorKind::QuickFit &&
+        Config.MissPenaltyCycles == 100)
+      throw std::runtime_error("injected cell failure");
+    RunResult Result;
+    Result.TotalRefs = 1;
+    return Result;
+  };
+  ResultStore Store = runMatrix(Spec, Options);
+  EXPECT_EQ(Store.failedCount(), 1u);
+
+  size_t FailedSeen = 0;
+  for (size_t I = 0; I != Store.size(); ++I) {
+    const CellOutcome &Cell = Store.cell(I);
+    if (!Cell.Ok) {
+      ++FailedSeen;
+      // The error is attributed to the right cell.
+      EXPECT_EQ(Cell.Workload, WorkloadId::Make);
+      EXPECT_EQ(Cell.Allocator, AllocatorKind::QuickFit);
+      EXPECT_EQ(Cell.PenaltyCycles, 100u);
+      EXPECT_EQ(Cell.Error, "injected cell failure");
+    } else {
+      EXPECT_EQ(Cell.Result.TotalRefs, 1u);
+      EXPECT_TRUE(Cell.Error.empty());
+    }
+  }
+  EXPECT_EQ(FailedSeen, 1u);
+
+  // The failed cell still serializes (with its error) instead of breaking
+  // the export.
+  std::ostringstream Json;
+  Store.writeJson(Json);
+  EXPECT_NE(Json.str().find("injected cell failure"), std::string::npos);
+}
+
+TEST(MatrixRunnerTest, InvalidGeometryFailsValidationNotTheProcess) {
+  MatrixSpec Spec = smallSpec();
+  Spec.Caches.push_back(CacheConfig{3000, 32, 1}); // not a power of two
+  MatrixOptions Options;
+  Options.Jobs = 2;
+  bool RunnerCalled = false;
+  Options.CellRunner = [&RunnerCalled](const ExperimentConfig &) {
+    RunnerCalled = true;
+    return RunResult();
+  };
+  ResultStore Store = runMatrix(Spec, Options);
+  EXPECT_EQ(Store.failedCount(), Store.size());
+  EXPECT_FALSE(RunnerCalled) << "validation must reject before running";
+  for (size_t I = 0; I != Store.size(); ++I)
+    EXPECT_NE(Store.cell(I).Error.find("invalid cache geometry"),
+              std::string::npos);
+}
+
+TEST(MatrixRunnerTest, ProgressReportingCoversEveryCell) {
+  MatrixSpec Spec = smallSpec();
+  MatrixOptions Options;
+  Options.Jobs = 8;
+  Options.CellRunner = [](const ExperimentConfig &) { return RunResult(); };
+  size_t Calls = 0, LastCompleted = 0;
+  Options.Progress = [&](const MatrixProgress &Progress) {
+    // The callback is serialized, so Completed must be strictly
+    // monotonically increasing.
+    EXPECT_EQ(Progress.Completed, LastCompleted + 1);
+    EXPECT_EQ(Progress.Total, 12u);
+    LastCompleted = Progress.Completed;
+    ++Calls;
+  };
+  runMatrix(Spec, Options);
+  EXPECT_EQ(Calls, 12u);
+  EXPECT_EQ(LastCompleted, 12u);
+}
+
+TEST(MatrixRunnerTest, ParseMatrixSpecRoundTrip) {
+  MatrixSpec Spec;
+  std::string Error;
+  ASSERT_TRUE(parseMatrixSpec(
+      "workloads=gs,espresso;allocators=FirstFit,BSD,QuickFit;"
+      "caches=16,64:32:2;paging=512,1024;penalty=25,100",
+      Spec, Error))
+      << Error;
+  ASSERT_EQ(Spec.Workloads.size(), 2u);
+  EXPECT_EQ(Spec.Workloads[0], WorkloadId::Gs);
+  EXPECT_EQ(Spec.Workloads[1], WorkloadId::Espresso);
+  ASSERT_EQ(Spec.Allocators.size(), 3u);
+  EXPECT_EQ(Spec.Allocators[1], AllocatorKind::Bsd);
+  ASSERT_EQ(Spec.Caches.size(), 2u);
+  EXPECT_EQ(Spec.Caches[0].SizeBytes, 16u * 1024);
+  EXPECT_EQ(Spec.Caches[1].Assoc, 2u);
+  ASSERT_EQ(Spec.PagingMemoryKb.size(), 2u);
+  EXPECT_EQ(Spec.PagingMemoryKb[1], 1024u);
+  ASSERT_EQ(Spec.PenaltiesCycles.size(), 2u);
+  EXPECT_EQ(Spec.PenaltiesCycles[1], 100u);
+  EXPECT_EQ(Spec.cellCount(), 12u);
+}
+
+TEST(MatrixRunnerTest, ParseMatrixSpecDiagnostics) {
+  MatrixSpec Spec;
+  std::string Error;
+
+  EXPECT_FALSE(parseMatrixSpec("allocators=FirstFit", Spec, Error));
+  EXPECT_NE(Error.find("at least one workload"), std::string::npos);
+
+  EXPECT_FALSE(parseMatrixSpec("workloads=gs", Spec, Error));
+  EXPECT_NE(Error.find("at least one allocator"), std::string::npos);
+
+  EXPECT_FALSE(parseMatrixSpec("workloads=gs;allocators=NotAnAllocator",
+                               Spec, Error));
+  EXPECT_NE(Error.find("NotAnAllocator"), std::string::npos);
+
+  EXPECT_FALSE(parseMatrixSpec("workloads=quake;allocators=BSD", Spec,
+                               Error));
+  EXPECT_NE(Error.find("quake"), std::string::npos);
+
+  EXPECT_FALSE(parseMatrixSpec("workloads=gs;allocators=BSD;", Spec, Error));
+  EXPECT_NE(Error.find("empty axis"), std::string::npos);
+
+  EXPECT_FALSE(
+      parseMatrixSpec("workloads=gs;allocators=BSD;planets=mars", Spec,
+                      Error));
+  EXPECT_NE(Error.find("unknown matrix axis"), std::string::npos);
+
+  EXPECT_FALSE(parseMatrixSpec("workloads=gs;allocators=BSD;caches=16,,64",
+                               Spec, Error));
+  EXPECT_NE(Error.find("empty item"), std::string::npos);
+
+  EXPECT_FALSE(parseMatrixSpec("workloads=gs;allocators=BSD;caches=17",
+                               Spec, Error));
+  EXPECT_NE(Error.find("invalid cache geometry"), std::string::npos);
+}

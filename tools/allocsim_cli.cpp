@@ -2,63 +2,56 @@
 //
 // Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
 //
-// A command-line front end over the Lab API for ad-hoc experiments beyond
-// the canned paper benchmarks: any workload, any subset of allocators, any
-// list of cache geometries, optional page-fault curve, text or CSV output.
+// A command-line front end over the MatrixRunner for ad-hoc experiment
+// matrices beyond the canned paper benchmarks: any set of workloads and
+// allocators, any list of cache geometries, optional page-fault curve and
+// penalty sweep, executed across a worker pool with deterministic results
+// (parallel output is bit-identical to --jobs=1).
 //
 // Examples:
 //   allocsim_cli --workload gs --allocators FirstFit,BSD --caches 16,64
 //   allocsim_cli --workload gawk --caches 64:32:4 --penalty 100
-//   allocsim_cli --workload ptc --paging 512,1024,2048,4096 --csv true
+//   allocsim_cli --matrix "workloads=gs,espresso;allocators=FirstFit,BSD;
+//                caches=16,64;penalty=25,100" --jobs=8 --out-json=out.json
 //
-// Cache syntax: sizeKB[:blockBytes[:assoc]], comma separated.
+// Cache syntax: sizeKB[:blockBytes[:assoc]], comma separated. Malformed
+// specs (empty items, trailing commas, non-numeric fields) are rejected
+// with a diagnostic and a nonzero exit, never silently dropped.
+//
+// Exit status: 0 on success, 1 if any matrix cell failed, 2 on bad usage.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Lab.h"
+#include "core/MatrixRunner.h"
 #include "support/CommandLine.h"
-#include "support/Error.h"
+#include "support/SpecParse.h"
 #include "support/Table.h"
 
+#include <fstream>
 #include <iostream>
-#include <sstream>
 
 using namespace allocsim;
 
 namespace {
 
-std::vector<std::string> splitList(const std::string &Text, char Sep) {
-  std::vector<std::string> Parts;
-  std::string Part;
-  std::istringstream Stream(Text);
-  while (std::getline(Stream, Part, Sep))
-    if (!Part.empty())
-      Parts.push_back(Part);
-  return Parts;
+/// Prints a usage diagnostic and returns the tool's usage-error exit code.
+int usageError(const std::string &Message) {
+  std::cerr << "allocsim_cli: error: " << Message << "\n";
+  return 2;
 }
 
-uint32_t parseUnsigned(const std::string &Text, const char *What) {
-  char *End = nullptr;
-  unsigned long Value = std::strtoul(Text.c_str(), &End, 10);
-  if (End == Text.c_str() || *End != '\0' || Value == 0)
-    reportFatalError(std::string("bad ") + What + ": '" + Text + "'");
-  return static_cast<uint32_t>(Value);
-}
-
-CacheConfig parseCache(const std::string &Spec) {
-  std::vector<std::string> Parts = splitList(Spec, ':');
-  if (Parts.empty() || Parts.size() > 3)
-    reportFatalError("bad cache spec '" + Spec + "'");
-  CacheConfig Config;
-  Config.SizeBytes = parseUnsigned(Parts[0], "cache size (KB)") * 1024;
-  Config.BlockBytes = Parts.size() > 1
-                          ? parseUnsigned(Parts[1], "block bytes")
-                          : 32;
-  Config.Assoc =
-      Parts.size() > 2 ? parseUnsigned(Parts[2], "associativity") : 1;
-  if (!Config.valid())
-    reportFatalError("invalid cache geometry '" + Spec + "'");
-  return Config;
+bool writeStoreFile(const ResultStore &Store, const std::string &Path,
+                    bool Csv) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::cerr << "allocsim_cli: error: cannot write '" << Path << "'\n";
+    return false;
+  }
+  if (Csv)
+    Store.writeCsv(Out);
+  else
+    Store.writeJson(Out);
+  return true;
 }
 
 } // namespace
@@ -70,7 +63,17 @@ int main(int Argc, char **Argv) {
               "comma-separated allocator names (also BestFit, Custom)");
   Cli.addFlag("caches", "16,64", "cache specs: sizeKB[:block[:assoc]]");
   Cli.addFlag("paging", "", "memory sizes (KB) for the page-fault curve");
-  Cli.addFlag("penalty", "25", "cache miss penalty in cycles");
+  Cli.addFlag("penalty", "25", "cache miss penalties in cycles (list ok)");
+  Cli.addFlag("matrix", "",
+              "full experiment matrix, e.g. \"workloads=gs,espresso;"
+              "allocators=FirstFit,BSD;caches=16,64;paging=512;"
+              "penalty=25,100\"; overrides the single-axis flags above");
+  Cli.addFlag("jobs", "0",
+              "worker threads for the matrix (0 = all hardware threads); "
+              "results are bit-identical at any job count");
+  Cli.addFlag("out-json", "", "write the full matrix as JSON to this path");
+  Cli.addFlag("out-csv", "", "write the full matrix as CSV to this path");
+  Cli.addFlag("progress", "false", "report progress/ETA on stderr");
   Cli.addFlag("scale", "8", "divide paper allocation counts by this");
   Cli.addFlag("seed", "1592932958", "workload RNG seed");
   Cli.addFlag("tags", "false", "emulate boundary tags on GnuLocal");
@@ -79,50 +82,112 @@ int main(int Argc, char **Argv) {
               "full (shadow + periodic invariant walks)");
   Cli.addFlag("check-interval", "64",
               "operations between invariant walks with --check=full");
-  Cli.addFlag("csv", "false", "emit CSV");
+  Cli.addFlag("csv", "false", "emit the summary table as CSV");
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return 2;
 
-  ExperimentConfig Base;
-  Base.Workload = parseWorkload(Cli.getString("workload"));
-  Base.Engine.Scale = static_cast<uint32_t>(Cli.getInt("scale"));
-  Base.Engine.Seed = static_cast<uint64_t>(Cli.getInt("seed"));
-  Base.MissPenaltyCycles = static_cast<uint32_t>(Cli.getInt("penalty"));
-  Base.EmulateBoundaryTags = Cli.getBool("tags");
-  Base.Check.Level = parseCheckLevel(Cli.getString("check"));
-  Base.Check.IntervalOps =
+  std::string Error;
+  MatrixSpec Spec;
+  Spec.Base.Engine.Scale = static_cast<uint32_t>(Cli.getInt("scale"));
+  Spec.Base.Engine.Seed = static_cast<uint64_t>(Cli.getInt("seed"));
+  Spec.Base.EmulateBoundaryTags = Cli.getBool("tags");
+  Spec.Base.Check.Level = parseCheckLevel(Cli.getString("check"));
+  Spec.Base.Check.IntervalOps =
       static_cast<uint32_t>(Cli.getInt("check-interval"));
-  for (const std::string &Spec : splitList(Cli.getString("caches"), ','))
-    Base.Caches.push_back(parseCache(Spec));
-  for (const std::string &Kb : splitList(Cli.getString("paging"), ','))
-    Base.PagingMemoryKb.push_back(parseUnsigned(Kb, "memory size (KB)"));
 
-  std::vector<std::string> Headers = {
-      "allocator", "refs(M)", "instr(M)", "malloc+free %", "heap KB",
-      "scan/op"};
-  for (const CacheConfig &Cache : Base.Caches) {
+  if (!Cli.getString("matrix").empty()) {
+    if (!parseMatrixSpec(Cli.getString("matrix"), Spec, Error))
+      return usageError(Error);
+  } else {
+    WorkloadId Workload;
+    if (!tryParseWorkload(Cli.getString("workload"), Workload))
+      return usageError("unknown workload '" + Cli.getString("workload") +
+                        "'");
+    Spec.Workloads = {Workload};
+    for (const std::string &Name :
+         splitSpecList(Cli.getString("allocators"), ',')) {
+      AllocatorKind Kind;
+      if (!tryParseAllocatorKind(Name, Kind))
+        return usageError("unknown allocator '" + Name + "'");
+      Spec.Allocators.push_back(Kind);
+    }
+    if (Spec.Allocators.empty())
+      return usageError("--allocators must name at least one allocator");
+    if (!parseCacheList(Cli.getString("caches"), Spec.Caches, Error))
+      return usageError(Error);
+    if (!parseSpecUnsignedList(Cli.getString("paging"),
+                               "paging memory size (KB)",
+                               Spec.PagingMemoryKb, Error))
+      return usageError(Error);
+    if (!parseSpecUnsignedList(Cli.getString("penalty"),
+                               "miss penalty (cycles)", Spec.PenaltiesCycles,
+                               Error))
+      return usageError(Error);
+    if (Spec.PenaltiesCycles.empty())
+      return usageError("--penalty must list at least one value");
+  }
+
+  MatrixOptions Options;
+  Options.Jobs = static_cast<unsigned>(Cli.getInt("jobs"));
+  if (Cli.getBool("progress"))
+    Options.Progress = [](const MatrixProgress &Progress) {
+      std::cerr << "matrix: " << Progress.Completed << "/" << Progress.Total
+                << " cells";
+      if (Progress.Failed)
+        std::cerr << " (" << Progress.Failed << " failed)";
+      char Eta[48];
+      std::snprintf(Eta, sizeof(Eta), ", %.1fs elapsed, ~%.1fs left",
+                    Progress.ElapsedSeconds, Progress.EtaSeconds);
+      std::cerr << Eta << "\n";
+    };
+
+  ResultStore Store = runMatrix(Spec, Options);
+
+  if (!Cli.getString("out-json").empty() &&
+      !writeStoreFile(Store, Cli.getString("out-json"), /*Csv=*/false))
+    return 2;
+  if (!Cli.getString("out-csv").empty() &&
+      !writeStoreFile(Store, Cli.getString("out-csv"), /*Csv=*/true))
+    return 2;
+
+  bool ManyPenalties = Spec.PenaltiesCycles.size() > 1;
+  std::vector<std::string> Headers = {"workload", "allocator"};
+  if (ManyPenalties)
+    Headers.push_back("penalty");
+  Headers.insert(Headers.end(),
+                 {"refs(M)", "instr(M)", "malloc+free %", "heap KB",
+                  "scan/op"});
+  for (const CacheConfig &Cache : Spec.Caches) {
     Headers.push_back("miss% " + std::to_string(Cache.SizeBytes / 1024) +
                       "K" + (Cache.Assoc > 1
                                  ? ":" + std::to_string(Cache.Assoc) + "w"
                                  : ""));
     Headers.push_back("est.sec");
   }
-  for (uint32_t MemoryKb : Base.PagingMemoryKb)
+  for (uint32_t MemoryKb : Spec.PagingMemoryKb)
     Headers.push_back("flt/ref@" + std::to_string(MemoryKb) + "K");
   Table Out(Headers);
 
-  for (const std::string &Name :
-       splitList(Cli.getString("allocators"), ',')) {
-    ExperimentConfig Config = Base;
-    Config.Allocator = parseAllocatorKind(Name);
-    RunResult Result = runExperiment(Config);
-    if (Config.Check.Level != CheckLevel::Off)
-      std::cerr << "heap check [" << allocatorKindName(Config.Allocator)
+  for (size_t I = 0; I != Store.size(); ++I) {
+    const CellOutcome &Cell = Store.cell(I);
+    if (!Cell.Ok) {
+      std::cerr << "allocsim_cli: cell failed: workload "
+                << workloadName(Cell.Workload) << ", allocator "
+                << allocatorKindName(Cell.Allocator) << ", penalty "
+                << Cell.PenaltyCycles << ": " << Cell.Error << "\n";
+      continue;
+    }
+    const RunResult &Result = Cell.Result;
+    if (Spec.Base.Check.Level != CheckLevel::Off)
+      std::cerr << "heap check [" << allocatorKindName(Cell.Allocator)
                 << "]: " << Result.CheckViolations << " violations ("
                 << Result.CheckWalks << " invariant walks)\n";
 
     Out.beginRow();
-    Out.cell(allocatorKindName(Config.Allocator));
+    Out.cell(workloadName(Cell.Workload));
+    Out.cell(allocatorKindName(Cell.Allocator));
+    if (ManyPenalties)
+      Out.num(uint64_t(Cell.PenaltyCycles));
     Out.num(double(Result.TotalRefs) / 1e6, 1);
     Out.num(double(Result.totalInstructions()) / 1e6, 1);
     Out.num(100.0 * Result.allocInstrFraction(), 1);
@@ -147,6 +212,10 @@ int main(int Argc, char **Argv) {
     Out.renderCsv(std::cout);
   else
     Out.renderText(std::cout,
-                   "workload: " + std::string(workloadName(Base.Workload)));
-  return 0;
+                   Store.failedCount()
+                       ? "experiment matrix (" +
+                             std::to_string(Store.failedCount()) +
+                             " cells FAILED, see stderr)"
+                       : "experiment matrix");
+  return Store.failedCount() == 0 ? 0 : 1;
 }
