@@ -40,6 +40,7 @@ int main(int Argc, char **Argv) {
   for (AllocatorKind Kind : PaperAllocators) {
     // One execution observed by the plain cache and all buffer variants.
     MemoryBus Bus;
+    Bus.setBatchCapacity(AccessBatch::MaxCapacity);
     CacheConfig MainArray{CacheKb * 1024, 32, 1};
     DirectMappedCache Plain(MainArray);
     Bus.attach(&Plain);
@@ -59,6 +60,7 @@ int main(int Argc, char **Argv) {
     WorkloadEngine Engine(Profile, EngineOpts);
     Driver Drive(*Alloc, Bus, Cost, Profile.instrPerRef());
     Engine.generate([&](const AllocEvent &Event) { Drive.execute(Event); });
+    Bus.flush();
 
     Out.beginRow();
     Out.cell(allocatorKindName(Kind));

@@ -66,6 +66,7 @@ struct Headline {
 Headline runOne(const AppProfile &Profile, AllocatorKind Kind,
                 uint32_t Scale) {
   MemoryBus Bus;
+  Bus.setBatchCapacity(AccessBatch::MaxCapacity);
   DirectMappedCache Cache({64 * 1024, 32, 1});
   Bus.attach(&Cache);
   SimHeap Heap(Bus);
@@ -77,6 +78,7 @@ Headline runOne(const AppProfile &Profile, AllocatorKind Kind,
   WorkloadEngine Engine(Profile, Options);
   Driver Drive(*Alloc, Bus, Cost, Profile.instrPerRef());
   Engine.generate([&](const AllocEvent &Event) { Drive.execute(Event); });
+  Bus.flush();
 
   return {100.0 * Cost.allocFraction(), 100.0 * Cache.stats().missRate(),
           Alloc->heapBytes() / 1024};

@@ -49,6 +49,7 @@ int main(int Argc, char **Argv) {
     BinaryTraceWriter Writer(TraceFile);
 
     MemoryBus Bus;
+    Bus.setBatchCapacity(AccessBatch::MaxCapacity);
     Bus.attach(&Writer);
     SimHeap Heap(Bus);
     CostModel Cost;
@@ -60,6 +61,7 @@ int main(int Argc, char **Argv) {
     WorkloadEngine Engine(Profile, Options);
     Driver Drive(*Alloc, Bus, Cost, Profile.instrPerRef());
     Engine.generate([&](const AllocEvent &Event) { Drive.execute(Event); });
+    Bus.flush();
 
     std::cout << "captured " << Writer.written() << " references from "
               << Profile.Name << " under " << Alloc->name() << " to "

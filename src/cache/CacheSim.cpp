@@ -57,6 +57,17 @@ void CacheSim::access(const MemAccess &Acc) {
   }
 }
 
+void CacheSim::foldBatchStats(uint64_t Accesses, uint64_t Misses,
+                              const uint64_t AccBySource[NumAccessSources],
+                              const uint64_t MissBySource[NumAccessSources]) {
+  Stats.Accesses += Accesses;
+  Stats.Misses += Misses;
+  for (unsigned S = 0; S != NumAccessSources; ++S) {
+    Stats.AccessesBySource[S] += AccBySource[S];
+    Stats.MissesBySource[S] += MissBySource[S];
+  }
+}
+
 DirectMappedCache::DirectMappedCache(const CacheConfig &SimConfig)
     : CacheSim(SimConfig), IndexMask(SimConfig.numSets() - 1),
       Tags(SimConfig.numSets(), 0) {
@@ -66,6 +77,38 @@ DirectMappedCache::DirectMappedCache(const CacheConfig &SimConfig)
 void DirectMappedCache::reset() {
   std::fill(Tags.begin(), Tags.end(), 0);
   Stats = CacheStats();
+}
+
+void DirectMappedCache::accessBatch(const MemAccess *Batch, size_t Count) {
+  // Hoist everything loop-invariant: the tag array, index mask and block
+  // shift live in registers for the whole batch, and statistics accumulate
+  // into locals folded back once. Same frame split and same tag update as
+  // the scalar access()/probe() pair, so the counts are bit-identical.
+  uint64_t *TagArray = Tags.data();
+  const uint32_t Mask = IndexMask;
+  const uint32_t Shift = BlockShift;
+  uint64_t Accesses = 0, Misses = 0;
+  uint64_t AccBySource[NumAccessSources] = {};
+  uint64_t MissBySource[NumAccessSources] = {};
+  for (size_t I = 0; I != Count; ++I) {
+    const MemAccess &Acc = Batch[I];
+    const unsigned Source = static_cast<unsigned>(Acc.Source);
+    const uint64_t First = Acc.Address >> Shift;
+    const uint64_t Last =
+        (Acc.Address + std::max<uint32_t>(Acc.Size, 1) - 1) >> Shift;
+    for (uint64_t Frame = First; Frame <= Last; ++Frame) {
+      ++Accesses;
+      ++AccBySource[Source];
+      const uint64_t TagPlusOne = Frame + 1;
+      uint64_t &Slot = TagArray[static_cast<uint32_t>(Frame) & Mask];
+      if (Slot != TagPlusOne) {
+        Slot = TagPlusOne;
+        ++Misses;
+        ++MissBySource[Source];
+      }
+    }
+  }
+  foldBatchStats(Accesses, Misses, AccBySource, MissBySource);
 }
 
 bool DirectMappedCache::probe(uint64_t BlockFrame) {
@@ -166,6 +209,11 @@ size_t CacheBank::addCache(const CacheConfig &SimConfig) {
 void CacheBank::access(const MemAccess &Acc) {
   for (auto &Cache : Caches)
     Cache->access(Acc);
+}
+
+void CacheBank::accessBatch(const MemAccess *Batch, size_t Count) {
+  for (auto &Cache : Caches)
+    Cache->accessBatch(Batch, Count);
 }
 
 void CacheBank::resetAll() {

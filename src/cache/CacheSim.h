@@ -88,6 +88,12 @@ public:
   void access(const MemAccess &Access) final;
 
 protected:
+  /// Folds batch-local counters into Stats (shared by the subclasses'
+  /// accessBatch loops, which accumulate into registers first).
+  void foldBatchStats(uint64_t Accesses, uint64_t Misses,
+                      const uint64_t AccessesBySource[NumAccessSources],
+                      const uint64_t MissesBySource[NumAccessSources]);
+
   /// Returns true on hit; updates replacement state.
   virtual bool probe(uint64_t BlockFrame) = 0;
 
@@ -102,6 +108,12 @@ public:
   explicit DirectMappedCache(const CacheConfig &Config);
 
   void reset() override;
+
+  /// Batch fast path: one pass over the records with the block shift, index
+  /// mask and tag array hoisted out of the loop and probe() inlined —
+  /// bit-identical to the scalar path by construction (the equivalence
+  /// suite enforces it).
+  void accessBatch(const MemAccess *Batch, size_t Count) override;
 
 private:
   bool probe(uint64_t BlockFrame) override;
@@ -164,6 +176,11 @@ public:
   size_t addCache(const CacheConfig &Config);
 
   void access(const MemAccess &Access) override;
+
+  /// Delivers the whole batch to each cache in turn (rather than each
+  /// access to every cache), so one cache's tag array stays hot for
+  /// hundreds of probes before the next cache's is touched.
+  void accessBatch(const MemAccess *Batch, size_t Count) override;
 
   size_t size() const { return Caches.size(); }
   const CacheSim &cache(size_t Index) const { return *Caches[Index]; }

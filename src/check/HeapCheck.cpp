@@ -44,6 +44,10 @@ HeapCheck::HeapCheck(const CheckPolicy &CheckedPolicy, SimHeap &CheckedHeap,
   assert(Policy.Level != CheckLevel::Off &&
          "HeapCheck constructed with checking disabled");
   Bus.attach(&Shadow);
+  // Under batched delivery the shadow drains the bus before every state
+  // transition, which keeps its verdicts identical to scalar delivery (see
+  // ShadowHeap::setFlushBus).
+  Shadow.setFlushBus(&Bus);
 }
 
 HeapCheck::~HeapCheck() { Bus.detach(&Shadow); }
@@ -55,6 +59,11 @@ void HeapCheck::attachAllocator(Allocator &Alloc) {
 }
 
 void HeapCheck::onOperation() {
+  // The operation boundary is a flush point: references emitted during the
+  // completed malloc/free must reach the shadow stamped with *this*
+  // operation's index, and a due invariant walk must observe a fully
+  // delivered stream.
+  Bus.flush();
   ++Ops;
   Shadow.setOpIndex(Ops);
   if (Policy.Level == CheckLevel::Full && Policy.IntervalOps != 0 &&
@@ -63,6 +72,7 @@ void HeapCheck::onOperation() {
 }
 
 void HeapCheck::runWalk() {
+  Bus.flush();
   ++Walks;
   CheckContext Ctx{Heap, &Shadow, Log, Ops};
   for (const std::unique_ptr<HeapChecker> &Checker : Checkers)

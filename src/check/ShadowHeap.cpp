@@ -138,6 +138,7 @@ void ShadowHeap::access(const MemAccess &Access) {
 
 void ShadowHeap::noteUserRange(const Allocator &Alloc, Addr Address,
                                uint32_t Size) {
+  drainPending();
   uint32_t Extent = roundToWords(Size);
   auto Existing = LiveRanges.find(Address);
   if (Existing != LiveRanges.end()) {
@@ -169,6 +170,7 @@ void ShadowHeap::noteUserRange(const Allocator &Alloc, Addr Address,
 
 void ShadowHeap::noteFreedRange(const Allocator &Alloc, Addr Address,
                                 uint32_t Size) {
+  drainPending();
   (void)Alloc;
   // The nested backend re-announces frees the outer allocator already
   // processed; only the first annotation transitions the range.
@@ -180,6 +182,7 @@ void ShadowHeap::noteFreedRange(const Allocator &Alloc, Addr Address,
 
 void ShadowHeap::noteMetadataRange(const Allocator &Alloc, Addr Address,
                                    uint32_t Size) {
+  drainPending();
   for (uint32_t I = 0; I != Size; ++I) {
     if (byteState(Address + I) == ByteState::UserLive) {
       reportViolation(ViolationKind::MetadataUserOverlap, Alloc.name(),
@@ -192,6 +195,7 @@ void ShadowHeap::noteMetadataRange(const Allocator &Alloc, Addr Address,
 }
 
 bool ShadowHeap::noteInvalidFree(const Allocator &Alloc, Addr Address) {
+  drainPending();
   if (FreedBases.count(Address))
     reportViolation(ViolationKind::DoubleFree, Alloc.name(), Address,
                     AccessSource::Application,

@@ -85,7 +85,22 @@ public:
   /// allocator; hook-level reports name the exact allocator instead).
   void setAllocatorName(std::string Name) { BusAllocName = std::move(Name); }
 
+  /// Registers the bus to drain before every state transition. The shadow's
+  /// verdict on a reference depends only on the interleaving of references
+  /// and state transitions (the note* hooks); flushing the bus at the top
+  /// of every hook delivers all staged references under the *pre-transition*
+  /// state — exactly where the scalar bus delivered them — so batched
+  /// delivery is violation-for-violation identical to scalar delivery.
+  /// (HeapCheck wires this automatically; null disables draining.)
+  void setFlushBus(MemoryBus *Bus) { FlushBus = Bus; }
+
 private:
+  /// Delivers staged bus references before a state transition.
+  void drainPending() {
+    if (FlushBus)
+      FlushBus->flush();
+  }
+
   void reportViolation(ViolationKind Kind, std::string AllocName,
                        Addr Address, AccessSource Source,
                        std::string Detail);
@@ -106,6 +121,9 @@ private:
   std::unordered_set<Addr> FreedBases;
   std::string BusAllocName = "?";
   uint64_t OpIndex = 0;
+  /// Drained before every state transition; null when the shadow is used
+  /// standalone (tests) or the bus delivers scalar anyway.
+  MemoryBus *FlushBus = nullptr;
 };
 
 } // namespace allocsim

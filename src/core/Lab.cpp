@@ -42,6 +42,8 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
   const AppProfile &Profile = getProfile(Config.Workload);
 
   MemoryBus Bus;
+  if (Config.BatchedDelivery)
+    Bus.setBatchCapacity(AccessBatch::MaxCapacity);
 
   CacheBank Caches;
   for (const CacheConfig &CacheConf : Config.Caches)
@@ -70,6 +72,9 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
   Driver Drive(*Alloc, Bus, Cost, Profile.instrPerRef());
   Drive.setHeapCheck(Check.get());
   Engine.generate([&](const AllocEvent &Event) { Drive.execute(Event); });
+  // End-of-run flush point: every sink has consumed the complete stream
+  // before statistics are read or the final invariant walk runs.
+  Bus.flush();
   if (Check)
     Check->finalCheck();
 

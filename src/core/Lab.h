@@ -80,6 +80,14 @@ struct ExperimentConfig {
   /// untraced accessors only, so enabling it leaves every measurement
   /// bit-identical).
   CheckPolicy Check;
+
+  /// Deliver the reference stream to the sinks in batches of
+  /// AccessBatch::MaxCapacity (the measurement default) instead of one
+  /// record at a time. Every result is bit-identical either way —
+  /// tests/pipeline_equivalence_test.cpp holds both paths to that — so this
+  /// knob exists for the equivalence suite and the throughput benchmark,
+  /// not for correctness tuning.
+  bool BatchedDelivery = true;
 };
 
 /// Miss statistics and derived time estimate for one cache geometry.

@@ -497,9 +497,21 @@ bool allocsim::parseMatrixSpec(const std::string &Text, MatrixSpec &Spec,
         Error = "matrix axis 'penalty' must list at least one value";
         return false;
       }
+    } else if (Key == "delivery") {
+      if (Value == "batched")
+        Spec.Base.BatchedDelivery = true;
+      else if (Value == "scalar")
+        Spec.Base.BatchedDelivery = false;
+      else {
+        Error = "bad matrix value 'delivery=" + Value +
+                "' (expected batched or scalar; results are bit-identical, "
+                "scalar exists for equivalence checks)";
+        return false;
+      }
     } else {
-      Error = "unknown matrix axis '" + Key +
-              "' (expected workloads/allocators/caches/paging/penalty)";
+      Error =
+          "unknown matrix axis '" + Key +
+          "' (expected workloads/allocators/caches/paging/penalty/delivery)";
       return false;
     }
   }

@@ -20,6 +20,11 @@ SimHeap::SimHeap(MemoryBus &TraceBus, Addr HeapBaseAddr, uint32_t LimitBytes)
 }
 
 Addr SimHeap::sbrk(uint32_t Bytes) {
+  // Segment growth is a flush point: the ShadowHeap validates every
+  // reference against the break, so references staged before this sbrk
+  // must be delivered before the break moves. sbrk is rare (amortized
+  // doubling in the allocators), so the early flush costs nothing.
+  Bus.flush();
   if (Bytes > Limit - heapBytes())
     reportFatalError("simulated heap limit exceeded (sbrk of " +
                      std::to_string(Bytes) + " bytes past " +

@@ -4,9 +4,11 @@
 
 #include "support/Error.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <istream>
 #include <ostream>
+#include <string>
 
 using namespace allocsim;
 
@@ -18,14 +20,9 @@ constexpr char kindChar(AccessKind Kind) {
   return Kind == AccessKind::Read ? 'R' : 'W';
 }
 
-} // namespace
+constexpr size_t BinaryRecordBytes = 6;
 
-BinaryTraceWriter::BinaryTraceWriter(std::ostream &Stream) : OS(Stream) {
-  OS.write(BinaryMagic, sizeof(BinaryMagic));
-}
-
-void BinaryTraceWriter::access(const MemAccess &Access) {
-  unsigned char Record[6];
+void encodeBinaryRecord(const MemAccess &Access, unsigned char *Record) {
   Record[0] = static_cast<unsigned char>(Access.Address);
   Record[1] = static_cast<unsigned char>(Access.Address >> 8);
   Record[2] = static_cast<unsigned char>(Access.Address >> 16);
@@ -34,8 +31,33 @@ void BinaryTraceWriter::access(const MemAccess &Access) {
   Record[5] = static_cast<unsigned char>(
       (static_cast<unsigned>(Access.Kind) << 4) |
       static_cast<unsigned>(Access.Source));
+}
+
+} // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream &Stream) : OS(Stream) {
+  OS.write(BinaryMagic, sizeof(BinaryMagic));
+}
+
+void BinaryTraceWriter::access(const MemAccess &Access) {
+  unsigned char Record[BinaryRecordBytes];
+  encodeBinaryRecord(Access, Record);
   OS.write(reinterpret_cast<const char *>(Record), sizeof(Record));
   ++Count;
+}
+
+void BinaryTraceWriter::accessBatch(const MemAccess *Batch, size_t N) {
+  unsigned char Buffer[AccessBatch::MaxCapacity * BinaryRecordBytes];
+  while (N != 0) {
+    const size_t Chunk = std::min(N, AccessBatch::MaxCapacity);
+    for (size_t I = 0; I != Chunk; ++I)
+      encodeBinaryRecord(Batch[I], Buffer + I * BinaryRecordBytes);
+    OS.write(reinterpret_cast<const char *>(Buffer),
+             static_cast<std::streamsize>(Chunk * BinaryRecordBytes));
+    Count += Chunk;
+    Batch += Chunk;
+    N -= Chunk;
+  }
 }
 
 BinaryTraceReader::BinaryTraceReader(std::istream &Stream) : IS(Stream) {
@@ -73,6 +95,21 @@ void TextTraceWriter::access(const MemAccess &Access) {
   std::snprintf(Line, sizeof(Line), "%c %08x %u %s\n", kindChar(Access.Kind),
                 Access.Address, Access.Size, accessSourceName(Access.Source));
   OS << Line;
+}
+
+void TextTraceWriter::accessBatch(const MemAccess *Batch, size_t N) {
+  std::string Buffer;
+  Buffer.reserve(N * 20);
+  char Line[48];
+  for (size_t I = 0; I != N; ++I) {
+    const MemAccess &Access = Batch[I];
+    const int Length =
+        std::snprintf(Line, sizeof(Line), "%c %08x %u %s\n",
+                      kindChar(Access.Kind), Access.Address, Access.Size,
+                      accessSourceName(Access.Source));
+    Buffer.append(Line, static_cast<size_t>(Length));
+  }
+  OS << Buffer;
 }
 
 bool TextTraceReader::next(MemAccess &Access) {

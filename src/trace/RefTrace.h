@@ -19,6 +19,7 @@
 #ifndef ALLOCSIM_TRACE_REFTRACE_H
 #define ALLOCSIM_TRACE_REFTRACE_H
 
+#include "mem/AccessBatch.h"
 #include "mem/AccessSink.h"
 
 #include <iosfwd>
@@ -33,6 +34,10 @@ class CollectingSink final : public AccessSink {
 public:
   void access(const MemAccess &Access) override { Records.push_back(Access); }
 
+  void accessBatch(const MemAccess *Batch, size_t Count) override {
+    Records.insert(Records.end(), Batch, Batch + Count);
+  }
+
   const std::vector<MemAccess> &records() const { return Records; }
   void clear() { Records.clear(); }
 
@@ -46,6 +51,11 @@ public:
   explicit BinaryTraceWriter(std::ostream &OS);
 
   void access(const MemAccess &Access) override;
+
+  /// Encodes the whole batch into one stack buffer and issues a single
+  /// stream write — the same bytes the scalar path writes one record at a
+  /// time.
+  void accessBatch(const MemAccess *Batch, size_t Count) override;
 
   /// Number of records written.
   uint64_t written() const { return Count; }
@@ -75,6 +85,8 @@ public:
 
   void access(const MemAccess &Access) override;
 
+  void accessBatch(const MemAccess *Batch, size_t Count) override;
+
 private:
   std::ostream &OS;
 };
@@ -91,16 +103,23 @@ private:
   std::istream &IS;
 };
 
-/// Replays all records from \p Reader into \p Sink. Returns the number of
-/// records replayed.
+/// Replays all records from \p Reader into \p Sink in batches of
+/// AccessBatch::MaxCapacity. Returns the number of records replayed.
 template <typename ReaderT>
 uint64_t replayTrace(ReaderT &Reader, AccessSink &Sink) {
+  AccessBatch Batch;
   uint64_t N = 0;
   MemAccess Access;
   while (Reader.next(Access)) {
-    Sink.access(Access);
+    Batch.push(Access);
     ++N;
+    if (Batch.size() == AccessBatch::MaxCapacity) {
+      Sink.accessBatch(Batch.data(), Batch.size());
+      Batch.clear();
+    }
   }
+  if (!Batch.empty())
+    Sink.accessBatch(Batch.data(), Batch.size());
   return N;
 }
 

@@ -95,6 +95,36 @@ void PageSim::access(const MemAccess &Acc) {
   }
 }
 
+void PageSim::accessBatch(const MemAccess *Batch, size_t Count) {
+  size_t I = 0;
+  while (I != Count) {
+    if (HaveRecent) {
+      // Run-length skip: count records wholly inside the MRU page. Checking
+      // First and Last against the same page also routes straddling
+      // accesses to the scalar path, where they split per page as always.
+      const uint64_t Recent = MostRecentPage;
+      const uint32_t Shift = PageShift;
+      const size_t RunStart = I;
+      while (I != Count) {
+        const MemAccess &Acc = Batch[I];
+        const uint64_t First = Acc.Address >> Shift;
+        const uint64_t Last =
+            (Acc.Address + std::max<uint32_t>(Acc.Size, 1) - 1) >> Shift;
+        if (First != Recent || Last != Recent)
+          break;
+        ++I;
+      }
+      const uint64_t Run = I - RunStart;
+      References += Run;
+      ZeroDistanceHits += Run;
+      if (I == Count)
+        return;
+    }
+    access(Batch[I]);
+    ++I;
+  }
+}
+
 uint64_t PageSim::faults(uint64_t MemoryPages) const {
   // LRU hit iff stack distance < resident pages. A memory of zero pages
   // faults on every reference.

@@ -42,6 +42,14 @@ public:
 
   void access(const MemAccess &Access) override;
 
+  /// Batch fast path: a run of consecutive records falling wholly inside
+  /// the most recently used page is a run of zero-stack-distance hits, so
+  /// the whole run collapses to two counter additions — no hash lookup, no
+  /// Fenwick work. Records that leave the page (or straddle one) fall back
+  /// to the scalar path one at a time. Bit-identical to scalar delivery:
+  /// the scalar fast path makes exactly the same per-record decision.
+  void accessBatch(const MemAccess *Batch, size_t Count) override;
+
   /// Number of references processed.
   uint64_t references() const { return References; }
 

@@ -36,8 +36,13 @@ void Driver::execute(const AllocEvent &Event) {
         Objects.emplace(Event.Id, ObjectInfo{Address, (Event.Amount + 3) / 4})
             .second;
     assert(Inserted && "duplicate object id in event stream");
-    if (Check)
+    if (Check) {
+      // Allocator-event boundary: deliver everything this malloc emitted
+      // before the checker's operation clock advances (HeapCheck flushes
+      // again internally, but the contract lives at the emission site).
+      Bus.flush();
       Check->onOperation();
+    }
     break;
   }
   case AllocEventKind::Free: {
@@ -46,8 +51,10 @@ void Driver::execute(const AllocEvent &Event) {
       reportFatalError("event stream frees unknown object");
     Alloc.free(It->second.Address);
     Objects.erase(It);
-    if (Check)
+    if (Check) {
+      Bus.flush();
       Check->onOperation();
+    }
     break;
   }
   case AllocEventKind::Touch: {

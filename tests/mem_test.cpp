@@ -1,9 +1,14 @@
 //===- tests/mem_test.cpp - SimHeap / MemoryBus tests ---------------------===//
 
+#include "cache/CacheSim.h"
 #include "mem/SimHeap.h"
 #include "trace/RefTrace.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
 
 using namespace allocsim;
 
@@ -158,4 +163,272 @@ TEST(SimHeapTest, ContainsRejectsRangesWrappingTheAddressSpace) {
   // wrapped comparison.
   EXPECT_FALSE(Heap.contains(0xFFFF'E000, 0x3000));
   EXPECT_FALSE(Heap.contains(0xFFFF'EFFC, 0x2000));
+}
+
+//===----------------------------------------------------------------------===//
+// Batched delivery: staging, flush points, and fan-out re-entrancy.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Sink that records deliveries and runs an arbitrary action on its first
+/// batch — the vehicle for attach/detach-during-fan-out tests.
+class ActingSink : public AccessSink {
+public:
+  std::function<void()> OnFirstBatch;
+
+  void access(const MemAccess &Access) override {
+    Collected.push_back(Access);
+  }
+
+  void accessBatch(const MemAccess *Batch, size_t Count) override {
+    Collected.insert(Collected.end(), Batch, Batch + Count);
+    if (OnFirstBatch) {
+      auto Action = std::move(OnFirstBatch);
+      OnFirstBatch = nullptr;
+      Action();
+    }
+  }
+
+  const std::vector<MemAccess> &records() const { return Collected; }
+
+private:
+  std::vector<MemAccess> Collected;
+};
+
+void emitN(MemoryBus &Bus, size_t Count, Addr Start = 0x2000) {
+  for (size_t I = 0; I != Count; ++I)
+    Bus.emit(Start + 4 * I, 4, AccessKind::Read, AccessSource::Application);
+}
+
+} // namespace
+
+TEST(MemoryBusBatchTest, StagesUntilCapacityThenDeliversWholeBatch) {
+  MemoryBus Bus;
+  Bus.setBatchCapacity(4);
+  EXPECT_EQ(Bus.batchCapacity(), 4u);
+  CollectingSink A;
+  Bus.attach(&A);
+
+  emitN(Bus, 3);
+  // Counters are exact at emit time even while delivery is pending.
+  EXPECT_EQ(Bus.totalAccesses(), 3u);
+  EXPECT_EQ(Bus.pendingAccesses(), 3u);
+  EXPECT_TRUE(A.records().empty());
+
+  emitN(Bus, 1, 0x3000);
+  EXPECT_EQ(Bus.pendingAccesses(), 0u);
+  ASSERT_EQ(A.records().size(), 4u);
+  EXPECT_EQ(A.records()[3].Address, 0x3000u);
+}
+
+TEST(MemoryBusBatchTest, ExplicitFlushDeliversPartialBatch) {
+  MemoryBus Bus;
+  Bus.setBatchCapacity(8);
+  CollectingSink A;
+  Bus.attach(&A);
+  emitN(Bus, 5);
+  EXPECT_TRUE(A.records().empty());
+  Bus.flush();
+  EXPECT_EQ(A.records().size(), 5u);
+  EXPECT_EQ(Bus.pendingAccesses(), 0u);
+  Bus.flush(); // idempotent on an empty batch
+  EXPECT_EQ(A.records().size(), 5u);
+}
+
+TEST(MemoryBusBatchTest, CapacityClampsToRingBounds) {
+  MemoryBus Bus;
+  Bus.setBatchCapacity(0);
+  EXPECT_EQ(Bus.batchCapacity(), 1u);
+  Bus.setBatchCapacity(AccessBatch::MaxCapacity * 10);
+  EXPECT_EQ(Bus.batchCapacity(), AccessBatch::MaxCapacity);
+}
+
+TEST(MemoryBusBatchTest, ShrinkingCapacityFlushesStagedRecords) {
+  MemoryBus Bus;
+  Bus.setBatchCapacity(16);
+  CollectingSink A;
+  Bus.attach(&A);
+  emitN(Bus, 7);
+  Bus.setBatchCapacity(1); // must not strand the 7 staged records
+  EXPECT_EQ(A.records().size(), 7u);
+  EXPECT_EQ(Bus.pendingAccesses(), 0u);
+}
+
+TEST(MemoryBusBatchTest, CounterResetMidBatchStillDeliversStagedRecords) {
+  // resetCounters zeroes the tallies but the staged references are real
+  // history: they must still reach every sink on the next flush.
+  MemoryBus Bus;
+  Bus.setBatchCapacity(8);
+  CollectingSink A;
+  Bus.attach(&A);
+  emitN(Bus, 3);
+  Bus.resetCounters();
+  EXPECT_EQ(Bus.totalAccesses(), 0u);
+  emitN(Bus, 1, 0x4000);
+  Bus.flush();
+  EXPECT_EQ(A.records().size(), 4u);
+  EXPECT_EQ(Bus.totalAccesses(), 1u);
+}
+
+TEST(MemoryBusBatchTest, AttachDuringFanOutSeesNextBatchNotCurrent) {
+  MemoryBus Bus;
+  Bus.setBatchCapacity(4);
+  ActingSink Trigger;
+  CollectingSink Late;
+  Trigger.OnFirstBatch = [&] { Bus.attach(&Late); };
+  Bus.attach(&Trigger);
+
+  emitN(Bus, 4); // flush fires; Late attaches mid-fan-out
+  EXPECT_EQ(Trigger.records().size(), 4u);
+  EXPECT_TRUE(Late.records().empty()) << "attach must defer to next batch";
+
+  emitN(Bus, 4, 0x5000);
+  EXPECT_EQ(Trigger.records().size(), 8u);
+  EXPECT_EQ(Late.records().size(), 4u);
+}
+
+TEST(MemoryBusBatchTest, DetachDuringFanOutStopsDeliveryImmediately) {
+  MemoryBus Bus;
+  Bus.setBatchCapacity(4);
+  ActingSink Trigger;
+  CollectingSink Victim;
+  Trigger.OnFirstBatch = [&] { Bus.detach(&Victim); };
+  Bus.attach(&Trigger); // fan-out order: Trigger first, Victim second
+  Bus.attach(&Victim);
+
+  emitN(Bus, 4);
+  EXPECT_EQ(Trigger.records().size(), 4u);
+  EXPECT_TRUE(Victim.records().empty())
+      << "detach mid-fan-out must stop delivery for the current batch";
+
+  emitN(Bus, 4, 0x5000);
+  EXPECT_EQ(Victim.records().size(), 0u);
+  EXPECT_EQ(Trigger.records().size(), 8u);
+}
+
+TEST(MemoryBusBatchTest, SelfDetachDuringFanOutIsSafe) {
+  MemoryBus Bus;
+  Bus.setBatchCapacity(2);
+  ActingSink Quitter;
+  CollectingSink Stayer;
+  Quitter.OnFirstBatch = [&] { Bus.detach(&Quitter); };
+  Bus.attach(&Quitter);
+  Bus.attach(&Stayer);
+
+  emitN(Bus, 2);
+  emitN(Bus, 2, 0x6000);
+  EXPECT_EQ(Quitter.records().size(), 2u);
+  EXPECT_EQ(Stayer.records().size(), 4u);
+}
+
+TEST(MemoryBusBatchTest, ReplayBusBatchDelivery) {
+  // MemoryBus is itself a sink (trace replay pipes one bus into another);
+  // a batch arriving at the bus must recount and restage correctly.
+  MemoryBus Upstream, Downstream;
+  Upstream.setBatchCapacity(4);
+  Downstream.setBatchCapacity(2);
+  CollectingSink A;
+  Downstream.attach(&A);
+  Upstream.attach(&Downstream);
+
+  emitN(Upstream, 4);
+  Downstream.flush();
+  EXPECT_EQ(Downstream.totalAccesses(), 4u);
+  EXPECT_EQ(A.records().size(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// CacheSim edge cases through the batch path.
+//===----------------------------------------------------------------------===//
+
+TEST(CacheBatchTest, StraddlingAccessTouchesBothBlocks) {
+  CacheConfig Config{/*SizeBytes=*/1024, /*BlockBytes=*/32, /*Assoc=*/1};
+  DirectMappedCache Scalar(Config), Batched(Config);
+  // 8 bytes starting 4 bytes before a block boundary: two block frames.
+  MemAccess Straddle{0x101c, 8, AccessKind::Read, AccessSource::Application};
+  Scalar.access(Straddle);
+  Batched.accessBatch(&Straddle, 1);
+  EXPECT_EQ(Scalar.stats().Accesses, 2u);
+  EXPECT_EQ(Scalar.stats().Misses, 2u);
+  EXPECT_EQ(Batched.stats().Accesses, Scalar.stats().Accesses);
+  EXPECT_EQ(Batched.stats().Misses, Scalar.stats().Misses);
+}
+
+TEST(CacheBatchTest, MaxSizeAccessSpansManyBlocks) {
+  CacheConfig Config{1024, 32, 1};
+  DirectMappedCache Scalar(Config), Batched(Config);
+  // The widest encodable access (Size is uint8_t): 255 bytes from a block
+  // start covers exactly ceil(255/32) = 8 block frames.
+  MemAccess Wide{0x2000, 255, AccessKind::Write, AccessSource::Allocator};
+  Scalar.access(Wide);
+  Batched.accessBatch(&Wide, 1);
+  EXPECT_EQ(Scalar.stats().Accesses, 8u);
+  EXPECT_EQ(Batched.stats().Accesses, 8u);
+  EXPECT_EQ(Batched.stats().Misses, Scalar.stats().Misses);
+  EXPECT_EQ(Batched.stats().AccessesBySource[static_cast<size_t>(
+                AccessSource::Allocator)],
+            8u);
+}
+
+TEST(CacheBatchTest, SingleLineCacheThrashesAndHits) {
+  // Degenerate geometry: one 32-byte line. Alternating blocks always miss;
+  // re-touching the same block always hits.
+  CacheConfig Config{32, 32, 1};
+  ASSERT_TRUE(Config.valid());
+  DirectMappedCache Cache(Config);
+  std::vector<MemAccess> Thrash;
+  for (int I = 0; I != 10; ++I)
+    Thrash.push_back(MemAccess{I % 2 ? 0x1020u : 0x1000u, 4, AccessKind::Read,
+                               AccessSource::Application});
+  Cache.accessBatch(Thrash.data(), Thrash.size());
+  EXPECT_EQ(Cache.stats().Accesses, 10u);
+  EXPECT_EQ(Cache.stats().Misses, 10u);
+
+  std::vector<MemAccess> Stay(10, MemAccess{0x1000, 4, AccessKind::Read,
+                                            AccessSource::Application});
+  Cache.accessBatch(Stay.data(), Stay.size());
+  EXPECT_EQ(Cache.stats().Accesses, 20u);
+  EXPECT_EQ(Cache.stats().Misses, 11u) << "first touch misses, rest hit";
+}
+
+TEST(CacheBatchTest, RandomStreamMatchesScalarAcrossGeometries) {
+  // Property check over a pseudorandom stream: for direct-mapped and
+  // set-associative geometries, chunked batch delivery must equal
+  // record-at-a-time delivery exactly.
+  std::vector<MemAccess> Stream;
+  uint64_t State = 0x243f6a8885a308d3ULL;
+  for (int I = 0; I != 20000; ++I) {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    Addr A = 0x10000 + ((State >> 16) & 0xffff) * 4;
+    uint8_t Size = (State >> 33) % 3 == 0 ? 8 : 4;
+    AccessKind Kind = (State >> 40) % 4 == 0 ? AccessKind::Write
+                                             : AccessKind::Read;
+    AccessSource Source = (State >> 45) % 3 == 0
+                              ? AccessSource::Allocator
+                              : AccessSource::Application;
+    Stream.push_back(MemAccess{A, Size, Kind, Source});
+  }
+
+  for (CacheConfig Config : {CacheConfig{4 * 1024, 32, 1},
+                             CacheConfig{4 * 1024, 16, 2},
+                             CacheConfig{2 * 1024, 64, 4}}) {
+    SCOPED_TRACE(Config.describe());
+    CacheBank ScalarBank, BatchedBank;
+    ScalarBank.addCache(Config);
+    BatchedBank.addCache(Config);
+    for (const MemAccess &Access : Stream)
+      ScalarBank.access(Access);
+    for (size_t I = 0; I < Stream.size(); I += 193) // deliberately odd chunk
+      BatchedBank.accessBatch(Stream.data() + I,
+                              std::min<size_t>(193, Stream.size() - I));
+    const CacheStats &S = ScalarBank.cache(0).stats();
+    const CacheStats &B = BatchedBank.cache(0).stats();
+    EXPECT_EQ(S.Accesses, B.Accesses);
+    EXPECT_EQ(S.Misses, B.Misses);
+    for (unsigned Source = 0; Source != NumAccessSources; ++Source) {
+      EXPECT_EQ(S.AccessesBySource[Source], B.AccessesBySource[Source]);
+      EXPECT_EQ(S.MissesBySource[Source], B.MissesBySource[Source]);
+    }
+  }
 }

@@ -82,6 +82,10 @@ int main(int Argc, char **Argv) {
               "full (shadow + periodic invariant walks)");
   Cli.addFlag("check-interval", "64",
               "operations between invariant walks with --check=full");
+  Cli.addFlag("delivery", "batched",
+              "reference delivery to the simulators: batched (default) or "
+              "scalar; results are bit-identical, scalar exists for "
+              "equivalence checks and as the throughput baseline");
   Cli.addFlag("csv", "false", "emit the summary table as CSV");
   if (!Cli.parse(Argc, Argv))
     return 2;
@@ -94,6 +98,13 @@ int main(int Argc, char **Argv) {
   Spec.Base.Check.Level = parseCheckLevel(Cli.getString("check"));
   Spec.Base.Check.IntervalOps =
       static_cast<uint32_t>(Cli.getInt("check-interval"));
+  if (Cli.getString("delivery") == "batched")
+    Spec.Base.BatchedDelivery = true;
+  else if (Cli.getString("delivery") == "scalar")
+    Spec.Base.BatchedDelivery = false;
+  else
+    return usageError("bad --delivery '" + Cli.getString("delivery") +
+                      "' (expected batched or scalar)");
 
   if (!Cli.getString("matrix").empty()) {
     if (!parseMatrixSpec(Cli.getString("matrix"), Spec, Error))

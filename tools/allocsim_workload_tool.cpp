@@ -107,6 +107,7 @@ int runScript(const std::string &Path, const std::string &AllocName,
   std::vector<AllocEvent> Events = loadScript(Path);
 
   MemoryBus Bus;
+  Bus.setBatchCapacity(AccessBatch::MaxCapacity);
   CacheBank Bank;
   for (uint32_t SizeKb : SizesKb)
     Bank.addCache(CacheConfig{SizeKb * 1024, 32, 1});
@@ -118,6 +119,7 @@ int runScript(const std::string &Path, const std::string &AllocName,
   Driver Drive(*Alloc, Bus, Cost, /*InstrPerRef=*/3.5);
   for (const AllocEvent &Event : Events)
     Drive.execute(Event);
+  Bus.flush();
 
   std::cout << "allocator " << Alloc->name() << ": "
             << Alloc->stats().MallocCalls << " mallocs, heap "

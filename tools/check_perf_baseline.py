@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the batched reference pipeline.
+
+Compares a fresh bench_pipeline_throughput report against the committed
+baseline (BENCH_pipeline.json at the repo root). The comparison is on the
+*speedup ratios* (batched refs/sec over scalar refs/sec, measured on the
+same machine within the same run), which is hardware-independent: CI boxes
+are slower than the machine that produced the baseline, but the ratio
+between the two delivery modes should hold anywhere. Absolute refs/sec are
+never compared.
+
+A config regresses when its current speedup falls below the baseline
+speedup by more than the tolerance (default 30%). Exit status: 0 = pass,
+1 = regression or malformed report, 2 = bad usage.
+
+Refreshing the baseline after an intentional pipeline change:
+
+    build/bench/bench_pipeline_throughput --out=BENCH_pipeline.json
+
+then commit the new file (see DESIGN.md section 10).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "allocsim-bench-pipeline-v1"
+
+
+def load_report(path):
+    """Loads and structurally validates one report; dies on malformation."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"check_perf_baseline: cannot read {path}: {err}")
+    if report.get("schema") != SCHEMA:
+        sys.exit(
+            f"check_perf_baseline: {path}: schema "
+            f"{report.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    configs = report.get("configs")
+    if not isinstance(configs, list) or not configs:
+        sys.exit(f"check_perf_baseline: {path}: empty or missing configs")
+    for config in configs:
+        for key in ("name", "scalar_refs_per_sec", "batched_refs_per_sec",
+                    "speedup"):
+            if key not in config:
+                sys.exit(
+                    f"check_perf_baseline: {path}: config missing {key!r}"
+                )
+        if config["scalar_refs_per_sec"] <= 0 or config["speedup"] <= 0:
+            sys.exit(
+                f"check_perf_baseline: {path}: non-positive rate in "
+                f"config {config['name']!r}"
+            )
+    return {config["name"]: config for config in configs}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_pipeline.json")
+    parser.add_argument("current", help="freshly measured report")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup drop before failing (default 0.30)",
+    )
+    args = parser.parse_args()
+    if not 0 < args.tolerance < 1:
+        parser.error("--tolerance must be in (0, 1)")
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        sys.exit(
+            "check_perf_baseline: current report lacks baseline configs: "
+            + ", ".join(missing)
+        )
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        cur = current[name]
+        floor = base["speedup"] * (1 - args.tolerance)
+        verdict = "ok" if cur["speedup"] >= floor else "REGRESSED"
+        failed |= verdict == "REGRESSED"
+        print(
+            f"{name:14s} baseline speedup {base['speedup']:.3f}  "
+            f"current {cur['speedup']:.3f}  floor {floor:.3f}  {verdict}"
+        )
+
+    if failed:
+        print(
+            "check_perf_baseline: batched/scalar speedup regressed beyond "
+            f"{args.tolerance:.0%} of the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_perf_baseline: all configs within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
