@@ -22,6 +22,12 @@ allocsim::parseBenchOptions(int Argc, const char *const *Argv,
               "matrix worker threads (0 = all hardware threads)");
   Cli.addFlag("out-json", "",
               "export the full experiment matrix as JSON to this path");
+  Cli.addFlag("telemetry", "off",
+              "telemetry probes: off (default; bit-identical paper numbers), "
+              "summary or full");
+  Cli.addFlag("out-telemetry-json", "",
+              "export per-cell + merged telemetry as JSON to this path "
+              "(matrix-backed benches only)");
   if (!Cli.parse(Argc, Argv))
     return std::nullopt;
   BenchOptions Options;
@@ -30,6 +36,13 @@ allocsim::parseBenchOptions(int Argc, const char *const *Argv,
   Options.Csv = Cli.getBool("csv");
   Options.Jobs = static_cast<uint32_t>(Cli.getInt("jobs"));
   Options.OutJson = Cli.getString("out-json");
+  if (!tryParseTelemetryLevel(Cli.getString("telemetry"),
+                              Options.Telemetry)) {
+    std::cerr << "error: bad --telemetry '" << Cli.getString("telemetry")
+              << "' (expected off, summary or full)\n";
+    return std::nullopt;
+  }
+  Options.OutTelemetryJson = Cli.getString("out-telemetry-json");
   return Options;
 }
 
@@ -57,6 +70,7 @@ ExperimentConfig allocsim::baseConfig(WorkloadId Workload,
   Config.Workload = Workload;
   Config.Engine.Scale = Options.Scale;
   Config.Engine.Seed = Options.Seed;
+  Config.Telemetry = Options.Telemetry;
   return Config;
 }
 
@@ -93,6 +107,12 @@ ResultStore allocsim::runBenchMatrix(const std::vector<WorkloadId> &Workloads,
     if (!Out)
       reportFatalError("cannot write '" + Options.OutJson + "'");
     Store.writeJson(Out);
+  }
+  if (!Options.OutTelemetryJson.empty()) {
+    std::ofstream Out(Options.OutTelemetryJson);
+    if (!Out)
+      reportFatalError("cannot write '" + Options.OutTelemetryJson + "'");
+    Store.writeTelemetryJson(Out);
   }
   return Store;
 }

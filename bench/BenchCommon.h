@@ -46,6 +46,12 @@ struct BenchOptions {
   /// When non-empty, matrix-backed benches also export their full
   /// ResultStore as JSON to this path.
   std::string OutJson;
+  /// Telemetry probe level for every run (off keeps the paper numbers
+  /// bit-identical; summary/full add counters/histograms to the export).
+  TelemetryLevel Telemetry = TelemetryLevel::Off;
+  /// When non-empty, matrix-backed benches also export per-cell + merged
+  /// telemetry ("allocsim-telemetry-v1") to this path.
+  std::string OutTelemetryJson;
 };
 
 /// Registers and parses the common flags (plus any caller-registered ones

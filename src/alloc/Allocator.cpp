@@ -71,12 +71,27 @@ AllocatorKind allocsim::parseAllocatorKind(const std::string &Name) {
   return Kind;
 }
 
+void Allocator::attachTelemetry(Telemetry *Registry,
+                                const std::string &Prefix) {
+  Telem = Registry;
+  TelemPrefix = Prefix;
+  MallocsProbe = counterProbe("mallocs");
+  FreesProbe = counterProbe("frees");
+  SearchLenHist = histogramProbe("search_len");
+  onTelemetryAttached();
+}
+
 Addr Allocator::malloc(uint32_t Size) {
   assert(Size > 0 && "malloc of zero bytes");
   ++Stats.MallocCalls;
   Stats.BytesRequested += Size;
+  if (MallocsProbe)
+    MallocsProbe->add();
+  uint64_t SearchedBefore = SearchLenHist ? blocksSearched() : 0;
 
   Addr Ptr = doMalloc(Size);
+  if (SearchLenHist)
+    SearchLenHist->record(blocksSearched() - SearchedBefore);
 
   assert((Ptr & 3) == 0 && "allocator returned misaligned object");
   assert(Heap.contains(Ptr, Size) && "allocator returned bad region");
@@ -104,6 +119,8 @@ void Allocator::free(Addr Ptr) {
   Stats.LiveBytes -= Size;
   LiveObjects.erase(It);
   ++Stats.FreeCalls;
+  if (FreesProbe)
+    FreesProbe->add();
   if (Shadow)
     Shadow->noteFreedRange(*this, Ptr, Size);
 

@@ -22,6 +22,7 @@
 #include "check/HeapStateObserver.h"
 #include "mem/SimHeap.h"
 #include "metrics/CostModel.h"
+#include "stats/Telemetry.h"
 
 #include <cstdint>
 #include <memory>
@@ -115,6 +116,17 @@ public:
       onShadowAttached();
   }
 
+  /// Attaches (or detaches, with nullptr) a telemetry registry. Instrument
+  /// names are "<Prefix>.<name>"; top-level allocators use the default,
+  /// hybrid allocators forward to their backend with "<Prefix>.general" so
+  /// delegated traffic stays distinguishable. The base wrapper maintains
+  /// "<Prefix>.mallocs"/"<Prefix>.frees" counters and, at full level, a
+  /// "<Prefix>.search_len" histogram of the per-malloc blocksSearched()
+  /// delta (0 for non-searching paths — QuickFit's fast hits must show up
+  /// as zero-length searches for mean search length to be comparable).
+  void attachTelemetry(Telemetry *Registry,
+                       const std::string &Prefix = "alloc");
+
 protected:
   /// Implementations: return the user address / release it.
   virtual Addr doMalloc(uint32_t Size) = 0;
@@ -148,6 +160,26 @@ protected:
   /// The attached observer, for forwarding to nested backend allocators.
   HeapStateObserver *shadowObserver() const { return Shadow; }
 
+  /// Called from attachTelemetry (after the base probes are re-fetched);
+  /// subclasses fetch their own probes with counterProbe/histogramProbe and
+  /// forward the registry to nested backend allocators.
+  virtual void onTelemetryAttached() {}
+
+  /// The attached registry (null when telemetry is off) and this
+  /// allocator's instrument-name prefix.
+  Telemetry *telemetry() const { return Telem; }
+  const std::string &telemetryPrefix() const { return TelemPrefix; }
+
+  /// Probe lookup under this allocator's prefix; null when no registry is
+  /// attached (or, for histograms, below full level), so probe sites reduce
+  /// to one pointer test.
+  TelemetryCounter *counterProbe(const char *Name) const {
+    return Telem ? Telem->counter(TelemPrefix + "." + Name) : nullptr;
+  }
+  TelemetryHistogram *histogramProbe(const char *Name) const {
+    return Telem ? Telem->histogram(TelemPrefix + "." + Name) : nullptr;
+  }
+
   /// Instruction cost attributed to each traced memory reference (load +
   /// address arithmetic + use).
   static constexpr uint64_t RefCost = 2;
@@ -162,6 +194,14 @@ private:
   std::unordered_map<Addr, uint32_t> LiveObjects;
   /// HeapCheck observer; null when checking is off.
   HeapStateObserver *Shadow = nullptr;
+
+  /// Telemetry registry and base-wrapper probes; all null when telemetry
+  /// is off.
+  Telemetry *Telem = nullptr;
+  std::string TelemPrefix = "alloc";
+  TelemetryCounter *MallocsProbe = nullptr;
+  TelemetryCounter *FreesProbe = nullptr;
+  TelemetryHistogram *SearchLenHist = nullptr;
 };
 
 /// Creates an allocator of the given kind over \p Heap. AllocatorKind::Custom

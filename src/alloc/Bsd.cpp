@@ -39,6 +39,8 @@ unsigned Bsd::bucketFor(uint32_t Size) {
 Addr Bsd::doMalloc(uint32_t Size) {
   charge(10); // call overhead + bucket computation.
   unsigned Bucket = bucketFor(Size);
+  if (BucketHist)
+    BucketHist->record(Bucket);
 
   Addr Head = load(freelistSlot(Bucket));
   if (Head == 0) {
@@ -57,6 +59,10 @@ void Bsd::moreCore(unsigned Bucket) {
   uint32_t BlockBytes = bucketBytes(Bucket);
   uint32_t Amount = BlockBytes < 4096 ? 4096 : BlockBytes;
   charge(24); // sbrk overhead.
+  if (RefillsProbe) {
+    RefillsProbe->add();
+    RefillBytesProbe->add(Amount);
+  }
   Addr Region = Heap.sbrk(Amount);
 
   // Chain every carved block onto the (empty) freelist.

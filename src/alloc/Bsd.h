@@ -58,8 +58,19 @@ private:
 
   void onShadowAttached() override { noteMetadata(NextF, 4 * NumBuckets); }
 
+  void onTelemetryAttached() override {
+    RefillsProbe = counterProbe("refills");
+    RefillBytesProbe = counterProbe("refill_bytes");
+    BucketHist = histogramProbe("class_index");
+  }
+
   /// Address of the nextf[] bucket-head array (in the static area).
   Addr NextF;
+
+  /// Telemetry probes; null when telemetry is off.
+  TelemetryCounter *RefillsProbe = nullptr;
+  TelemetryCounter *RefillBytesProbe = nullptr;
+  TelemetryHistogram *BucketHist = nullptr;
 };
 
 } // namespace allocsim

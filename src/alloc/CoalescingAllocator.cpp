@@ -40,6 +40,14 @@ void CoalescingAllocator::onShadowAttached() {
     noteMetadata(Node, 12);
 }
 
+void CoalescingAllocator::onTelemetryAttached() {
+  SplitsProbe = counterProbe("splits");
+  CoalescesProbe = counterProbe("coalesces");
+  TagTouchesProbe = counterProbe("tag_touches");
+  ExpandsProbe = counterProbe("heap_expands");
+  ExpandBytesProbe = counterProbe("heap_expand_bytes");
+}
+
 Addr CoalescingAllocator::unlinkBlock(Addr Block) {
   Addr Next = load(Block + 4);
   Addr Prev = load(Block + 8);
@@ -61,6 +69,8 @@ void CoalescingAllocator::writeTags(Addr Block, uint32_t Size,
                                     bool Allocated) {
   assert(Size >= MinBlockBytes && (Size & 3) == 0 && "malformed block size");
   uint32_t Tag = Size | (Allocated ? 1u : 0u);
+  if (TagTouchesProbe)
+    TagTouchesProbe->add(2);
   store(Block, Tag);
   store(Block + Size - 4, Tag);
 }
@@ -90,6 +100,8 @@ Addr CoalescingAllocator::allocateFrom(Addr Block, uint32_t BlockSize,
     writeTags(Remainder, RemainderSize, /*Allocated=*/false);
     insertFree(Remainder, RemainderSize);
     charge(4);
+    if (SplitsProbe)
+      SplitsProbe->add();
   } else {
     Need = BlockSize;
   }
@@ -106,12 +118,14 @@ void CoalescingAllocator::doFree(Addr Ptr) {
 
   // Coalesce with the following block if it is free. Fencepost guards
   // (allocated, size 0) stop this at region ends.
-  uint32_t NextTag = load(Block + Size);
+  uint32_t NextTag = readHeader(Block + Size);
   if (!tagAllocated(NextTag)) {
     Addr NextBlock = Block + Size;
     unlinkBlock(NextBlock);
     Size += tagSize(NextTag);
     charge(2);
+    if (CoalescesProbe)
+      CoalescesProbe->add();
   }
 
   // Coalesce with the preceding block if it is free.
@@ -124,6 +138,8 @@ void CoalescingAllocator::doFree(Addr Ptr) {
     Block = PrevBlock;
     Size += PrevSize;
     charge(2);
+    if (CoalescesProbe)
+      CoalescesProbe->add();
   }
 
   writeTags(Block, Size, /*Allocated=*/false);
@@ -135,6 +151,10 @@ void CoalescingAllocator::expandHeap(uint32_t Need) {
   uint32_t Chunk = Need + 8;
   Chunk = (Chunk + ExpandChunkBytes - 1) & ~(ExpandChunkBytes - 1);
   charge(24); // sbrk call overhead.
+  if (ExpandsProbe) {
+    ExpandsProbe->add();
+    ExpandBytesProbe->add(Chunk);
+  }
   Addr Region = Heap.sbrk(Chunk);
 
   // Start guard acts as an allocated footer for the first block; end guard

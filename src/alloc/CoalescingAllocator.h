@@ -90,13 +90,25 @@ protected:
 
   /// --- boundary-tag primitives ------------------------------------------
 
-  uint32_t readHeader(Addr Block) { return load(Block); }
-  uint32_t readFooterBefore(Addr Block) { return load(Block - 4); }
+  uint32_t readHeader(Addr Block) {
+    if (TagTouchesProbe)
+      TagTouchesProbe->add();
+    return load(Block);
+  }
+  uint32_t readFooterBefore(Addr Block) {
+    if (TagTouchesProbe)
+      TagTouchesProbe->add();
+    return load(Block - 4);
+  }
   void writeTags(Addr Block, uint32_t Size, bool Allocated);
 
   /// Sentinels were initialized with untraced pokes; annotate them for the
   /// shadow when one attaches.
   void onShadowAttached() override;
+
+  /// Split/coalesce/tag-touch/heap-growth probes shared by both
+  /// sequential-fit allocators.
+  void onTelemetryAttached() override;
 
   /// Total block bytes needed to satisfy a request of \p Size user bytes.
   static uint32_t blockBytesFor(uint32_t Size) {
@@ -116,6 +128,13 @@ private:
   /// Host-side record of the sentinels created by makeSentinel, for shadow
   /// annotation.
   std::vector<Addr> Sentinels;
+
+  /// Telemetry probes; null when telemetry is off.
+  TelemetryCounter *SplitsProbe = nullptr;
+  TelemetryCounter *CoalescesProbe = nullptr;
+  TelemetryCounter *TagTouchesProbe = nullptr;
+  TelemetryCounter *ExpandsProbe = nullptr;
+  TelemetryCounter *ExpandBytesProbe = nullptr;
 };
 
 } // namespace allocsim

@@ -23,6 +23,8 @@ CustomAlloc::CustomAlloc(SimHeap &AllocHeap, CostModel &AllocCost,
 Addr CustomAlloc::doMalloc(uint32_t Size) {
   if (Size > Map.maxSize()) {
     ++SlowMallocs;
+    if (ClassMissesProbe)
+      ClassMissesProbe->add();
     charge(4);
     return General.malloc(Size);
   }
@@ -32,6 +34,10 @@ Addr CustomAlloc::doMalloc(uint32_t Size) {
   // The single traced lookup that makes an arbitrary mapping O(1).
   uint32_t ClassIndex = load(tableSlot((Size + 3) / 4));
   assert(ClassIndex == Map.classIndexFor(Size) && "mapping table corrupt");
+  if (ClassHitsProbe)
+    ClassHitsProbe->add();
+  if (ClassIndexHist)
+    ClassIndexHist->record(ClassIndex);
 
   Addr Head = load(freelistSlot(ClassIndex));
   if (Head == 0)
@@ -47,6 +53,8 @@ Addr CustomAlloc::carve(uint32_t ClassIndex) {
   uint32_t BlockBytes = Map.classSize(ClassIndex) + 4;
   if (TailPtr + BlockBytes > TailEnd) {
     charge(24);
+    if (RefillsProbe)
+      RefillsProbe->add();
     uint32_t Chunk = BlockBytes > 4096 ? (BlockBytes + 4095) & ~4095u : 4096;
     TailPtr = Heap.sbrk(Chunk);
     TailEnd = TailPtr + Chunk;

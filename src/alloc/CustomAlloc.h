@@ -73,6 +73,14 @@ private:
     General.attachShadow(shadowObserver());
   }
 
+  void onTelemetryAttached() override {
+    ClassHitsProbe = counterProbe("class_hits");
+    ClassMissesProbe = counterProbe("class_misses");
+    RefillsProbe = counterProbe("tail_refills");
+    ClassIndexHist = histogramProbe("class_index");
+    General.attachTelemetry(telemetry(), telemetryPrefix() + ".general");
+  }
+
   SizeClassMap Map;
   /// Figure 9 mapping array, in simulated memory.
   Addr MapTable;
@@ -86,6 +94,13 @@ private:
 
   uint64_t FastMallocs = 0;
   uint64_t SlowMallocs = 0;
+
+  /// Telemetry probes; null when telemetry is off (same semantics as
+  /// QuickFit: hit = served by a synthesized class, miss = delegated).
+  TelemetryCounter *ClassHitsProbe = nullptr;
+  TelemetryCounter *ClassMissesProbe = nullptr;
+  TelemetryCounter *RefillsProbe = nullptr;
+  TelemetryHistogram *ClassIndexHist = nullptr;
 };
 
 } // namespace allocsim

@@ -39,6 +39,8 @@ void GnuLocal::growTable(uint32_t MinBlocks) {
     NewCapacity = MinBlocks + 64;
 
   charge(32); // realloc bookkeeping.
+  if (TableGrowsProbe)
+    TableGrowsProbe->add();
   bool Initial = TableAddr == 0;
   // Blocks with meaningful descriptors: everything up to the break as it
   // stands *before* the new table is carved.
@@ -110,10 +112,12 @@ uint32_t GnuLocal::morecoreBlocks(uint32_t Count) {
 uint32_t GnuLocal::allocateBlocks(uint32_t Count) {
   // First-fit over the address-ordered free-run list; the walk touches
   // only descriptors (the "localized chunk headers").
+  uint64_t RunsExamined = 0;
   uint32_t PrevIndex = 0;
   uint32_t Current = load(RunListHeadSlot);
   while (Current != 0) {
     charge(4);
+    ++RunsExamined;
     Addr Desc = descAddr(Current);
     uint32_t RunLength = load(Desc + 4);
     if (RunLength >= Count) {
@@ -138,6 +142,8 @@ uint32_t GnuLocal::allocateBlocks(uint32_t Count) {
           store(descAddr(Next) + 12, NewHead);
       }
       markBusyRun(Current, Count);
+      if (RunSearchHist)
+        RunSearchHist->record(RunsExamined);
       return Current;
     }
     PrevIndex = Current;
@@ -145,6 +151,8 @@ uint32_t GnuLocal::allocateBlocks(uint32_t Count) {
   }
 
   // Nothing fits: extend the heap by exactly the blocks needed.
+  if (RunSearchHist)
+    RunSearchHist->record(RunsExamined);
   uint32_t Index = morecoreBlocks(Count);
   markBusyRun(Index, Count);
   return Index;
@@ -287,6 +295,8 @@ void GnuLocal::freeFragment(Addr Ptr, Addr BlockAddress, Addr Desc) {
     store(FragNext + 4, FragPrev);
   }
   ++BlocksReclaimed;
+  if (ReclaimsProbe)
+    ReclaimsProbe->add();
   freeBlocks(blockIndexOf(BlockAddress), 1);
 }
 
@@ -302,10 +312,16 @@ Addr GnuLocal::mallocInner(uint32_t Size) {
     while ((1u << FragLog) < Size)
       ++FragLog;
     charge(2 * (FragLog - MinFragLog) + 4);
+    if (FragMallocsProbe)
+      FragMallocsProbe->add();
+    if (FragLogHist)
+      FragLogHist->record(FragLog);
     return mallocFragment(FragLog);
   }
   uint32_t Count = (Size + BlockBytes - 1) >> BlockShift;
   charge(6);
+  if (BlockMallocsProbe)
+    BlockMallocsProbe->add();
   return blockAddr(allocateBlocks(Count));
 }
 

@@ -107,6 +107,15 @@ private:
       noteMetadata(TableAddr, 16 * TableCapacity);
   }
 
+  void onTelemetryAttached() override {
+    FragMallocsProbe = counterProbe("frag_mallocs");
+    BlockMallocsProbe = counterProbe("block_mallocs");
+    ReclaimsProbe = counterProbe("blocks_reclaimed");
+    TableGrowsProbe = counterProbe("table_grows");
+    RunSearchHist = histogramProbe("run_search_len");
+    FragLogHist = histogramProbe("class_index");
+  }
+
   uint32_t blockIndexOf(Addr Address) const {
     return (Address - Heap.base()) >> BlockShift;
   }
@@ -136,6 +145,17 @@ private:
   uint32_t TableCapacity = 0;
 
   uint64_t BlocksReclaimed = 0;
+
+  /// Telemetry probes; null when telemetry is off. The descriptor run-list
+  /// walk gets its own histogram (RunSearchHist) instead of feeding
+  /// blocksSearched(), which stays 0 for this allocator (the committed
+  /// golden results depend on that).
+  TelemetryCounter *FragMallocsProbe = nullptr;
+  TelemetryCounter *BlockMallocsProbe = nullptr;
+  TelemetryCounter *ReclaimsProbe = nullptr;
+  TelemetryCounter *TableGrowsProbe = nullptr;
+  TelemetryHistogram *RunSearchHist = nullptr;
+  TelemetryHistogram *FragLogHist = nullptr;
 };
 
 } // namespace allocsim

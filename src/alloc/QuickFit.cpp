@@ -14,6 +14,8 @@ QuickFit::QuickFit(SimHeap &AllocHeap, CostModel &AllocCost)
 Addr QuickFit::doMalloc(uint32_t Size) {
   if (Size > MaxFastBytes) {
     ++SlowMallocs;
+    if (ClassMissesProbe)
+      ClassMissesProbe->add();
     charge(4); // dispatch test.
     return General.malloc(Size);
   }
@@ -21,6 +23,10 @@ Addr QuickFit::doMalloc(uint32_t Size) {
   ++FastMallocs;
   charge(6); // call overhead + index computation.
   unsigned ClassIndex = (Size + 3) / 4 - 1;
+  if (ClassHitsProbe)
+    ClassHitsProbe->add();
+  if (ClassIndexHist)
+    ClassIndexHist->record(ClassIndex);
 
   Addr Head = load(freelistSlot(ClassIndex));
   if (Head == 0)
@@ -40,6 +46,8 @@ Addr QuickFit::carveFast(unsigned ClassIndex) {
     // A fresh tail region; the (sub-block-size) remainder of the old tail
     // is abandoned, as in the original working-region scheme.
     charge(24);
+    if (RefillsProbe)
+      RefillsProbe->add();
     TailPtr = Heap.sbrk(4096);
     TailEnd = TailPtr + 4096;
   }

@@ -75,6 +75,14 @@ private:
     General.attachShadow(shadowObserver());
   }
 
+  void onTelemetryAttached() override {
+    ClassHitsProbe = counterProbe("class_hits");
+    ClassMissesProbe = counterProbe("class_misses");
+    RefillsProbe = counterProbe("tail_refills");
+    ClassIndexHist = histogramProbe("class_index");
+    General.attachTelemetry(telemetry(), telemetryPrefix() + ".general");
+  }
+
   /// Address of the fast freelist head array (static area).
   Addr FastLists;
   /// Bump-pointer tail region for replenishing fast lists.
@@ -86,6 +94,14 @@ private:
 
   uint64_t FastMallocs = 0;
   uint64_t SlowMallocs = 0;
+
+  /// Telemetry probes; null when telemetry is off. A "class hit" is a
+  /// malloc served by the exact-size fast lists, a "miss" is a delegation
+  /// to the general backend, so hits + misses == mallocs.
+  TelemetryCounter *ClassHitsProbe = nullptr;
+  TelemetryCounter *ClassMissesProbe = nullptr;
+  TelemetryCounter *RefillsProbe = nullptr;
+  TelemetryHistogram *ClassIndexHist = nullptr;
 };
 
 } // namespace allocsim

@@ -53,6 +53,8 @@ void CacheSim::access(const MemAccess &Acc) {
     if (!probe(Frame)) {
       ++Stats.Misses;
       ++Stats.MissesBySource[static_cast<unsigned>(Acc.Source)];
+      if (!SetMisses.empty())
+        ++SetMisses[setIndexOf(Frame)];
     }
   }
 }
@@ -76,6 +78,7 @@ DirectMappedCache::DirectMappedCache(const CacheConfig &SimConfig)
 
 void DirectMappedCache::reset() {
   std::fill(Tags.begin(), Tags.end(), 0);
+  std::fill(SetMisses.begin(), SetMisses.end(), 0);
   Stats = CacheStats();
 }
 
@@ -87,6 +90,7 @@ void DirectMappedCache::accessBatch(const MemAccess *Batch, size_t Count) {
   uint64_t *TagArray = Tags.data();
   const uint32_t Mask = IndexMask;
   const uint32_t Shift = BlockShift;
+  uint64_t *SetMissArray = SetMisses.empty() ? nullptr : SetMisses.data();
   uint64_t Accesses = 0, Misses = 0;
   uint64_t AccBySource[NumAccessSources] = {};
   uint64_t MissBySource[NumAccessSources] = {};
@@ -100,11 +104,14 @@ void DirectMappedCache::accessBatch(const MemAccess *Batch, size_t Count) {
       ++Accesses;
       ++AccBySource[Source];
       const uint64_t TagPlusOne = Frame + 1;
-      uint64_t &Slot = TagArray[static_cast<uint32_t>(Frame) & Mask];
+      const uint32_t Set = static_cast<uint32_t>(Frame) & Mask;
+      uint64_t &Slot = TagArray[Set];
       if (Slot != TagPlusOne) {
         Slot = TagPlusOne;
         ++Misses;
         ++MissBySource[Source];
+        if (SetMissArray)
+          ++SetMissArray[Set];
       }
     }
   }
@@ -126,6 +133,7 @@ SetAssocCache::SetAssocCache(const CacheConfig &SimConfig)
 
 void SetAssocCache::reset() {
   std::fill(Ways.begin(), Ways.end(), 0);
+  std::fill(SetMisses.begin(), SetMisses.end(), 0);
   Stats = CacheStats();
 }
 
@@ -162,6 +170,7 @@ VictimCache::VictimCache(const CacheConfig &SimConfig,
 void VictimCache::reset() {
   std::fill(Tags.begin(), Tags.end(), 0);
   std::fill(Victims.begin(), Victims.end(), 0);
+  std::fill(SetMisses.begin(), SetMisses.end(), 0);
   Stats = CacheStats();
   VictimHits = 0;
 }

@@ -87,6 +87,15 @@ public:
   /// each; updates statistics.
   void access(const MemAccess &Access) final;
 
+  /// Enables the per-set miss profile (telemetry full level): misses are
+  /// additionally counted per cache set, exposing the conflict structure
+  /// behind the aggregate miss rate. Costs one counter array of numSets()
+  /// entries; disabled (empty, zero cost on the probe paths) by default.
+  void enableSetProfile() { SetMisses.assign(Config.numSets(), 0); }
+
+  /// Per-set miss counts; empty unless enableSetProfile was called.
+  const std::vector<uint64_t> &setMissProfile() const { return SetMisses; }
+
 protected:
   /// Folds batch-local counters into Stats (shared by the subclasses'
   /// accessBatch loops, which accumulate into registers first).
@@ -97,9 +106,14 @@ protected:
   /// Returns true on hit; updates replacement state.
   virtual bool probe(uint64_t BlockFrame) = 0;
 
+  /// Set index a frame maps to (for the per-set miss profile).
+  virtual uint32_t setIndexOf(uint64_t BlockFrame) const = 0;
+
   CacheConfig Config;
   CacheStats Stats;
   uint32_t BlockShift;
+  /// Per-set miss counts; empty when the set profile is disabled.
+  std::vector<uint64_t> SetMisses;
 };
 
 /// Direct-mapped cache: one tag per set. This is the paper's model.
@@ -117,6 +131,9 @@ public:
 
 private:
   bool probe(uint64_t BlockFrame) override;
+  uint32_t setIndexOf(uint64_t BlockFrame) const override {
+    return static_cast<uint32_t>(BlockFrame) & IndexMask;
+  }
 
   uint32_t IndexMask;
   /// Tag-plus-one per set; 0 means invalid.
@@ -133,6 +150,9 @@ public:
 
 private:
   bool probe(uint64_t BlockFrame) override;
+  uint32_t setIndexOf(uint64_t BlockFrame) const override {
+    return static_cast<uint32_t>(BlockFrame % NumSets);
+  }
 
   uint32_t NumSets;
   /// Ways for each set, most-recently-used first; 0 means invalid.
@@ -159,6 +179,9 @@ public:
 
 private:
   bool probe(uint64_t BlockFrame) override;
+  uint32_t setIndexOf(uint64_t BlockFrame) const override {
+    return static_cast<uint32_t>(BlockFrame) & IndexMask;
+  }
 
   uint32_t IndexMask;
   /// Tag-plus-one per set; 0 means invalid.
@@ -184,6 +207,7 @@ public:
 
   size_t size() const { return Caches.size(); }
   const CacheSim &cache(size_t Index) const { return *Caches[Index]; }
+  CacheSim &cache(size_t Index) { return *Caches[Index]; }
 
   void resetAll();
 

@@ -41,6 +41,12 @@ std::unique_ptr<Allocator> buildAllocator(const ExperimentConfig &Config,
 RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
   const AppProfile &Profile = getProfile(Config.Workload);
 
+  // One registry per run: no locks, no sharing. Null when telemetry is off,
+  // which leaves every probe pointer below null as well.
+  std::unique_ptr<Telemetry> Telem;
+  if (Config.Telemetry != TelemetryLevel::Off)
+    Telem = std::make_unique<Telemetry>(Config.Telemetry);
+
   MemoryBus Bus;
   if (Config.BatchedDelivery)
     Bus.setBatchCapacity(AccessBatch::MaxCapacity);
@@ -50,18 +56,26 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
     Caches.addCache(CacheConf);
   if (Caches.size() != 0)
     Bus.attach(&Caches);
+  // Per-set conflict profiles are histogram-grade data, so only the full
+  // level pays for the per-set counter arrays.
+  if (Telem && Telem->level() == TelemetryLevel::Full)
+    for (size_t I = 0; I != Caches.size(); ++I)
+      Caches.cache(I).enableSetProfile();
 
   std::unique_ptr<PageSim> Paging;
   if (!Config.PagingMemoryKb.empty()) {
     Paging = std::make_unique<PageSim>(Config.PageBytes);
+    Paging->attachTelemetry(Telem.get());
     Bus.attach(Paging.get());
   }
 
   SimHeap Heap(Bus);
+  Heap.attachTelemetry(Telem.get());
   CostModel Cost;
   WorkloadEngine Engine(Profile, Config.Engine);
   std::unique_ptr<Allocator> Alloc =
       buildAllocator(Config, Heap, Cost, Engine);
+  Alloc->attachTelemetry(Telem.get());
 
   std::unique_ptr<HeapCheck> Check;
   if (Config.Check.Level != CheckLevel::Off) {
@@ -71,6 +85,7 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
 
   Driver Drive(*Alloc, Bus, Cost, Profile.instrPerRef());
   Drive.setHeapCheck(Check.get());
+  Drive.attachTelemetry(Telem.get());
   Engine.generate([&](const AllocEvent &Event) { Drive.execute(Event); });
   // End-of-run flush point: every sink has consumed the complete stream
   // before statistics are read or the final invariant walk runs.
@@ -111,6 +126,26 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
     Result.CheckWalks = Check->walksRun();
     for (const CheckViolation &V : Check->violations())
       Result.CheckReports.push_back(V.message());
+  }
+
+  if (Telem) {
+    if (Paging)
+      Paging->flushRunTelemetry();
+    if (Telem->level() == TelemetryLevel::Full) {
+      // Fold each cache's per-set miss counts into a conflict histogram:
+      // one record per set, valued at that set's miss count. A heavy tail
+      // here is the figure-6-to-8 conflict story in distribution form.
+      for (size_t I = 0; I != Caches.size(); ++I) {
+        const CacheSim &Cache = Caches.cache(I);
+        if (Cache.setMissProfile().empty())
+          continue;
+        TelemetryHistogram *Hist = Telem->histogram(
+            "cache." + std::to_string(I) + ".set_misses");
+        for (uint64_t Misses : Cache.setMissProfile())
+          Hist->record(Misses);
+      }
+    }
+    Result.Telemetry = Telem->snapshot();
   }
   return Result;
 }

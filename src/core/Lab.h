@@ -33,6 +33,7 @@
 #include "cache/CacheSim.h"
 #include "check/HeapCheck.h"
 #include "metrics/CostModel.h"
+#include "stats/Telemetry.h"
 #include "workload/Engine.h"
 #include "workload/Workload.h"
 
@@ -80,6 +81,14 @@ struct ExperimentConfig {
   /// untraced accessors only, so enabling it leaves every measurement
   /// bit-identical).
   CheckPolicy Check;
+
+  /// Telemetry probe level. Off (the default) leaves every probe pointer
+  /// null — nothing on any measurement path reads or writes telemetry
+  /// state, so results are bit-identical to a build without the subsystem
+  /// (tests/telemetry_equivalence_test.cpp holds it there). Summary enables
+  /// counters; Full adds histograms (search lengths, per-set cache
+  /// conflicts, page-run lengths, per-op instruction costs).
+  TelemetryLevel Telemetry = TelemetryLevel::Off;
 
   /// Deliver the reference stream to the sinks in batches of
   /// AccessBatch::MaxCapacity (the measurement default) instead of one
@@ -136,6 +145,11 @@ struct RunResult {
   /// Fault-rate curve samples, in config order.
   std::vector<PagingPoint> Paging;
   uint64_t DistinctPages = 0;
+
+  /// Merged telemetry snapshot (empty when ExperimentConfig::Telemetry is
+  /// Off). Integer-only and derived solely from simulated state, so it is
+  /// deterministic across hosts and job counts.
+  TelemetrySnapshot Telemetry;
 
   /// Heap-integrity findings (zero when checking is off or the heap is
   /// sound). Messages are the retained CheckViolation::message() strings.

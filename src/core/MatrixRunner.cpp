@@ -290,6 +290,61 @@ void ResultStore::writeCsv(std::ostream &OS) const {
   }
 }
 
+TelemetrySnapshot ResultStore::mergedTelemetry() const {
+  TelemetrySnapshot Merged;
+  for (const CellOutcome &Cell : Cells)
+    if (Cell.Ok)
+      Merged.merge(Cell.Result.Telemetry);
+  return Merged;
+}
+
+void ResultStore::writeTelemetryJson(std::ostream &OS) const {
+  OS << "{\n";
+  OS << "  \"schema\": \"allocsim-telemetry-v1\",\n";
+  OS << "  \"level\": \"" << telemetryLevelName(Spec.Base.Telemetry)
+     << "\",\n";
+  OS << "  \"cells\": [";
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    const CellOutcome &Cell = Cells[I];
+    OS << (I ? ",\n" : "\n") << "    {";
+    OS << "\"workload\": \"" << workloadName(Cell.Workload) << "\", ";
+    OS << "\"allocator\": \"" << allocatorKindName(Cell.Allocator) << "\", ";
+    OS << "\"penalty_cycles\": " << Cell.PenaltyCycles << ", ";
+    OS << "\"ok\": " << (Cell.Ok ? "true" : "false") << ",\n";
+    OS << "     \"telemetry\":\n";
+    Cell.Result.Telemetry.writeJson(OS, "      ");
+    OS << "}";
+  }
+  OS << "\n  ],\n";
+  OS << "  \"merged\":\n";
+  mergedTelemetry().writeJson(OS, "    ");
+  OS << "\n}\n";
+}
+
+void ResultStore::writeTelemetryCsv(std::ostream &OS) const {
+  OS << "workload,allocator,penalty_cycles,kind,name,value,count,sum,min,"
+        "max,mean\n";
+  for (const CellOutcome &Cell : Cells) {
+    if (!Cell.Ok)
+      continue;
+    std::string Prefix = std::string(workloadName(Cell.Workload)) + "," +
+                         allocatorKindName(Cell.Allocator) + "," +
+                         std::to_string(Cell.PenaltyCycles) + ",";
+    const TelemetrySnapshot &Telem = Cell.Result.Telemetry;
+    for (const auto &[Name, Value] : Telem.Counters)
+      OS << Prefix << "counter," << Name << "," << Value << ",,,,,\n";
+    for (const auto &[Name, Hist] : Telem.Histograms) {
+      OS << Prefix << "histogram," << Name << ",," << Hist.Count << ","
+         << Hist.Sum << ",";
+      if (Hist.Count != 0)
+        OS << Hist.Min << "," << Hist.Max << "," << jsonDouble(Hist.mean());
+      else
+        OS << ",,";
+      OS << "\n";
+    }
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Execution
 //===----------------------------------------------------------------------===//
@@ -497,6 +552,12 @@ bool allocsim::parseMatrixSpec(const std::string &Text, MatrixSpec &Spec,
         Error = "matrix axis 'penalty' must list at least one value";
         return false;
       }
+    } else if (Key == "telemetry") {
+      if (!tryParseTelemetryLevel(Value, Spec.Base.Telemetry)) {
+        Error = "bad matrix value 'telemetry=" + Value +
+                "' (expected off, summary or full)";
+        return false;
+      }
     } else if (Key == "delivery") {
       if (Value == "batched")
         Spec.Base.BatchedDelivery = true;
@@ -509,9 +570,9 @@ bool allocsim::parseMatrixSpec(const std::string &Text, MatrixSpec &Spec,
         return false;
       }
     } else {
-      Error =
-          "unknown matrix axis '" + Key +
-          "' (expected workloads/allocators/caches/paging/penalty/delivery)";
+      Error = "unknown matrix axis '" + Key +
+              "' (expected workloads/allocators/caches/paging/penalty/"
+              "telemetry/delivery)";
       return false;
     }
   }

@@ -140,6 +140,20 @@ public:
   /// any platform.
   void writeGoldenJson(std::ostream &OS) const;
 
+  /// Folds every ok cell's telemetry snapshot into one. merge() is
+  /// associative and commutative, so the result is identical at any
+  /// --jobs count and in any completion order.
+  TelemetrySnapshot mergedTelemetry() const;
+
+  /// Telemetry serialization (schema "allocsim-telemetry-v1"): the run's
+  /// telemetry level, one snapshot per cell, and the merged snapshot.
+  /// Integer-only, like the golden matrix form.
+  void writeTelemetryJson(std::ostream &OS) const;
+
+  /// Long-form telemetry CSV: one row per (cell, instrument). Counter rows
+  /// fill the value column; histogram rows fill count/sum/min/max/mean.
+  void writeTelemetryCsv(std::ostream &OS) const;
+
   /// Filled by runMatrix; Index must match the expansion order.
   void put(size_t Index, CellOutcome Outcome);
 

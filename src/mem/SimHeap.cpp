@@ -2,6 +2,7 @@
 
 #include "mem/SimHeap.h"
 
+#include "stats/Telemetry.h"
 #include "support/Error.h"
 
 using namespace allocsim;
@@ -29,8 +30,20 @@ Addr SimHeap::sbrk(uint32_t Bytes) {
     reportFatalError("simulated heap limit exceeded (sbrk of " +
                      std::to_string(Bytes) + " bytes past " +
                      std::to_string(heapBytes()) + ")");
+  if (SbrkCallsProbe) {
+    SbrkCallsProbe->add();
+    SbrkBytesProbe->add(Bytes);
+  }
+  if (SbrkChunkHist)
+    SbrkChunkHist->record(Bytes);
   Addr Old = Break;
   Break += Bytes;
   Storage.resize(Break - Base, 0);
   return Old;
+}
+
+void SimHeap::attachTelemetry(Telemetry *Registry) {
+  SbrkCallsProbe = Registry ? Registry->counter("mem.sbrk_calls") : nullptr;
+  SbrkBytesProbe = Registry ? Registry->counter("mem.sbrk_bytes") : nullptr;
+  SbrkChunkHist = Registry ? Registry->histogram("mem.sbrk_chunk") : nullptr;
 }

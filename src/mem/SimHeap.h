@@ -28,6 +28,10 @@
 
 namespace allocsim {
 
+class Telemetry;
+class TelemetryCounter;
+class TelemetryHistogram;
+
 /// Simulated heap: contiguous segment [base(), brk()) of a 32-bit address
 /// space backed by host memory.
 class SimHeap {
@@ -85,12 +89,22 @@ public:
   /// The bus this heap traces through.
   MemoryBus &bus() { return Bus; }
 
+  /// Attaches (or detaches, with nullptr) a telemetry registry; sbrk then
+  /// maintains "mem.sbrk_calls"/"mem.sbrk_bytes" counters and, at full
+  /// level, a "mem.sbrk_chunk" histogram of per-call growth.
+  void attachTelemetry(Telemetry *Registry);
+
 private:
   MemoryBus &Bus;
   Addr Base;
   Addr Break;
   uint32_t Limit;
   std::vector<uint8_t> Storage;
+
+  /// Telemetry probes; null when telemetry is off.
+  TelemetryCounter *SbrkCallsProbe = nullptr;
+  TelemetryCounter *SbrkBytesProbe = nullptr;
+  TelemetryHistogram *SbrkChunkHist = nullptr;
 };
 
 } // namespace allocsim

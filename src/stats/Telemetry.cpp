@@ -1,0 +1,150 @@
+//===- stats/Telemetry.cpp - Allocator/cache telemetry registry -----------===//
+
+#include "stats/Telemetry.h"
+
+#include <cassert>
+#include <ostream>
+
+using namespace allocsim;
+
+const char *allocsim::telemetryLevelName(TelemetryLevel Level) {
+  switch (Level) {
+  case TelemetryLevel::Off:
+    return "off";
+  case TelemetryLevel::Summary:
+    return "summary";
+  case TelemetryLevel::Full:
+    return "full";
+  }
+  return "off";
+}
+
+bool allocsim::tryParseTelemetryLevel(const std::string &Name,
+                                      TelemetryLevel &Level) {
+  if (Name == "off") {
+    Level = TelemetryLevel::Off;
+    return true;
+  }
+  if (Name == "summary") {
+    Level = TelemetryLevel::Summary;
+    return true;
+  }
+  if (Name == "full") {
+    Level = TelemetryLevel::Full;
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Bucket layout
+//===----------------------------------------------------------------------===//
+
+unsigned TelemetryBuckets::indexFor(uint64_t Value) {
+  if (Value <= MaxExactValue)
+    return static_cast<unsigned>(Value);
+  unsigned Log = 63 - static_cast<unsigned>(__builtin_clzll(Value));
+  return NumExactBuckets + (Log - 6);
+}
+
+uint64_t TelemetryBuckets::lowerBound(unsigned Index) {
+  assert(Index < NumBuckets && "bucket index out of range");
+  if (Index < NumExactBuckets)
+    return Index;
+  unsigned Log = Index - NumExactBuckets + 6;
+  // The first log bucket (log2 == 6) starts right after the exact range.
+  return Log == 6 ? MaxExactValue + 1 : uint64_t(1) << Log;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
+  for (unsigned I = 0; I != TelemetryBuckets::NumBuckets; ++I)
+    Buckets[I] = saturatingAdd(Buckets[I], Other.Buckets[I]);
+  Count = saturatingAdd(Count, Other.Count);
+  Sum = saturatingAdd(Sum, Other.Sum);
+  if (Other.Min < Min)
+    Min = Other.Min;
+  if (Other.Max > Max)
+    Max = Other.Max;
+}
+
+uint64_t TelemetrySnapshot::counterValue(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+const HistogramSnapshot &
+TelemetrySnapshot::histogram(const std::string &Name) const {
+  static const HistogramSnapshot Empty;
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? Empty : It->second;
+}
+
+void TelemetrySnapshot::merge(const TelemetrySnapshot &Other) {
+  for (const auto &[Name, Value] : Other.Counters) {
+    uint64_t &Mine = Counters[Name];
+    Mine = saturatingAdd(Mine, Value);
+  }
+  for (const auto &[Name, Hist] : Other.Histograms)
+    Histograms[Name].merge(Hist);
+}
+
+void TelemetrySnapshot::writeJson(std::ostream &OS,
+                                  const std::string &Indent) const {
+  OS << Indent << "{\"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    OS << (First ? "" : ", ") << '"' << Name << "\": " << Value;
+    First = false;
+  }
+  OS << "},\n" << Indent << " \"histograms\": {";
+  First = true;
+  for (const auto &[Name, Hist] : Histograms) {
+    OS << (First ? "\n" : ",\n") << Indent << "  \"" << Name
+       << "\": {\"count\": " << Hist.Count << ", \"sum\": " << Hist.Sum;
+    if (Hist.Count != 0)
+      OS << ", \"min\": " << Hist.Min << ", \"max\": " << Hist.Max;
+    OS << ", \"buckets\": [";
+    bool FirstBucket = true;
+    for (unsigned I = 0; I != TelemetryBuckets::NumBuckets; ++I) {
+      if (Hist.Buckets[I] == 0)
+        continue;
+      OS << (FirstBucket ? "" : ", ") << '[' << TelemetryBuckets::lowerBound(I)
+         << ", " << Hist.Buckets[I] << ']';
+      FirstBucket = false;
+    }
+    OS << "]}";
+    First = false;
+  }
+  if (!First)
+    OS << '\n' << Indent << " ";
+  OS << "}}";
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TelemetryCounter *Telemetry::counter(const std::string &Name) {
+  if (Level == TelemetryLevel::Off)
+    return nullptr;
+  return &Counters[Name];
+}
+
+TelemetryHistogram *Telemetry::histogram(const std::string &Name) {
+  if (Level != TelemetryLevel::Full)
+    return nullptr;
+  return &Histograms[Name];
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  TelemetrySnapshot Snap;
+  for (const auto &[Name, Counter] : Counters)
+    Snap.Counters.emplace(Name, Counter.value());
+  for (const auto &[Name, Hist] : Histograms)
+    Snap.Histograms.emplace(Name, Hist.snapshot());
+  return Snap;
+}

@@ -1,0 +1,232 @@
+//===- stats/Telemetry.h - Allocator/cache telemetry registry ---*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mechanism-level observability for the simulator. The paper's headline
+/// claims are claims about *per-operation distributions* — FIRSTFIT loses
+/// because its freelist search touches many scattered blocks per malloc,
+/// QUICKFIT wins because exact-size reuse keeps the working set hot — but
+/// end-state miss and fault counts only show the outcome. The Telemetry
+/// registry collects the distributions themselves: named Counters and
+/// fixed-bucket Histograms fed by probe points in the allocators, the
+/// cache/VM sinks, the simulated heap and the workload driver.
+///
+/// Design constraints, in order:
+///
+///  1. **Zero cost when off.** Probes are raw pointers that are null unless
+///     a registry was attached; an off-mode probe is a single predictable
+///     branch. No atomic operation, no lock and no allocation happens on
+///     any measurement path when telemetry is off, and nothing about the
+///     simulation (addresses, RNG draws, instruction charges, reference
+///     streams) ever depends on telemetry state — off-mode outputs are
+///     bit-identical to a build without the probes, which
+///     tests/telemetry_equivalence_test.cpp and the perf-baseline gate
+///     hold us to.
+///
+///  2. **Deterministic and mergeable.** A registry is private to one
+///     experiment cell (no sharing, hence no locking when on, either).
+///     Snapshots are plain integer maps whose merge() is associative and
+///     commutative — saturating adds and min/max only — so MatrixRunner
+///     can fold per-cell telemetry in any order and still produce the
+///     identical merged snapshot at any --jobs count. PhaseTimer reads the
+///     *simulated* instruction clock, not wall time, for the same reason.
+///
+///  3. **Fixed memory.** Histograms have a fixed bucket layout (exact
+///     buckets for 0..64, log2 buckets above) so merging is element-wise
+///     and snapshots have bounded size regardless of the value range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_STATS_TELEMETRY_H
+#define ALLOCSIM_STATS_TELEMETRY_H
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace allocsim {
+
+/// How much telemetry a run collects. Summary enables counters only; Full
+/// adds histograms (and the per-set cache profiles they are built from).
+enum class TelemetryLevel : uint8_t { Off, Summary, Full };
+
+/// Display name ("off", "summary", "full").
+const char *telemetryLevelName(TelemetryLevel Level);
+
+/// Parses a level name; returns false on unknown input.
+bool tryParseTelemetryLevel(const std::string &Name, TelemetryLevel &Level);
+
+/// Saturating add: counters stick at UINT64_MAX instead of wrapping, so a
+/// merged snapshot can never report fewer events than one of its parts.
+inline uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t Sum = A + B;
+  return Sum < A ? UINT64_MAX : Sum;
+}
+
+/// A named monotone counter. Probes hold a raw pointer to one of these
+/// (null when telemetry is off) and add() on their event.
+class TelemetryCounter {
+public:
+  void add(uint64_t Delta = 1) { Count = saturatingAdd(Count, Delta); }
+  uint64_t value() const { return Count; }
+
+private:
+  uint64_t Count = 0;
+};
+
+/// The fixed bucket layout shared by every histogram: values 0..64 each get
+/// an exact bucket (the range where the paper's per-operation quantities —
+/// search lengths, size-class indices, run lengths — mostly live), values
+/// above 64 share one bucket per power of two. Powers of two are bucket
+/// boundaries everywhere: 2^k for k <= 6 is an exact bucket, and every
+/// 2^k for k >= 7 starts a fresh log bucket.
+struct TelemetryBuckets {
+  /// Largest exactly-bucketed value.
+  static constexpr uint64_t MaxExactValue = 64;
+  static constexpr unsigned NumExactBuckets = MaxExactValue + 1;
+  /// Log2 buckets cover floor(log2(v)) in [6, 63] for v > 64.
+  static constexpr unsigned NumLogBuckets = 58;
+  static constexpr unsigned NumBuckets = NumExactBuckets + NumLogBuckets;
+
+  static unsigned indexFor(uint64_t Value);
+  /// Smallest value that lands in bucket \p Index.
+  static uint64_t lowerBound(unsigned Index);
+};
+
+/// Mergeable integer summary of one histogram: fixed bucket counts plus
+/// count/sum/min/max. Everything is an integer, so snapshots serialize
+/// exactly and merge deterministically.
+struct HistogramSnapshot {
+  std::array<uint64_t, TelemetryBuckets::NumBuckets> Buckets{};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = UINT64_MAX;
+  uint64_t Max = 0;
+
+  /// Derived mean (not serialized; recompute from Sum/Count).
+  double mean() const {
+    return Count == 0 ? 0.0
+                      : static_cast<double>(Sum) / static_cast<double>(Count);
+  }
+
+  /// Element-wise saturating fold of \p Other into this. Associative and
+  /// commutative (adds and min/max only).
+  void merge(const HistogramSnapshot &Other);
+
+  bool operator==(const HistogramSnapshot &Other) const = default;
+};
+
+/// A fixed-bucket histogram probes record() into.
+class TelemetryHistogram {
+public:
+  void record(uint64_t Value) {
+    uint64_t &Bucket = Snap.Buckets[TelemetryBuckets::indexFor(Value)];
+    Bucket = saturatingAdd(Bucket, 1);
+    Snap.Count = saturatingAdd(Snap.Count, 1);
+    Snap.Sum = saturatingAdd(Snap.Sum, Value);
+    if (Value < Snap.Min)
+      Snap.Min = Value;
+    if (Value > Snap.Max)
+      Snap.Max = Value;
+  }
+
+  const HistogramSnapshot &snapshot() const { return Snap; }
+
+private:
+  HistogramSnapshot Snap;
+};
+
+/// Everything one registry measured, detached from the registry: plain
+/// sorted maps of name -> value. This is what RunResult carries, what
+/// MatrixRunner folds across cells, and what the JSON/CSV emitters write.
+struct TelemetrySnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, HistogramSnapshot> Histograms;
+
+  bool empty() const { return Counters.empty() && Histograms.empty(); }
+
+  /// Returns the counter's value, or 0 if the name was never registered.
+  uint64_t counterValue(const std::string &Name) const;
+
+  /// Returns the named histogram, or an empty one if never registered.
+  const HistogramSnapshot &histogram(const std::string &Name) const;
+
+  /// Folds \p Other into this: union of names, saturating element-wise
+  /// adds, min/max for extrema. Associative and commutative, so any fold
+  /// order over a set of snapshots produces the identical result.
+  void merge(const TelemetrySnapshot &Other);
+
+  /// Writes this snapshot as one JSON object ("counters" and "histograms"
+  /// keys; integer-only, nonzero buckets as [lower_bound, count] pairs).
+  /// \p Indent is prefixed to each line.
+  void writeJson(std::ostream &OS, const std::string &Indent) const;
+
+  bool operator==(const TelemetrySnapshot &Other) const = default;
+};
+
+/// The per-run telemetry registry. One instance per experiment cell, never
+/// shared across threads — "lock-free when off" holds trivially because the
+/// off state is the absence of the registry, and the on state is
+/// single-owner. Probe setup fetches stable raw pointers once (std::map
+/// nodes do not move); measurement paths then touch only those pointers.
+class Telemetry {
+public:
+  explicit Telemetry(TelemetryLevel RunLevel) : Level(RunLevel) {}
+
+  Telemetry(const Telemetry &) = delete;
+  Telemetry &operator=(const Telemetry &) = delete;
+
+  TelemetryLevel level() const { return Level; }
+
+  /// Returns the named counter, creating it on first use; null at
+  /// TelemetryLevel::Off (callers then skip the probe entirely).
+  TelemetryCounter *counter(const std::string &Name);
+
+  /// Returns the named histogram, creating it on first use; null below
+  /// TelemetryLevel::Full — distribution collection is the expensive tier.
+  TelemetryHistogram *histogram(const std::string &Name);
+
+  /// Copies the current state of every registered instrument.
+  TelemetrySnapshot snapshot() const;
+
+private:
+  TelemetryLevel Level;
+  std::map<std::string, TelemetryCounter> Counters;
+  std::map<std::string, TelemetryHistogram> Histograms;
+};
+
+/// Scoped phase timer over a *simulated* clock: records (clock at
+/// destruction - clock at construction) into a histogram. The clock is any
+/// monotone uint64_t source — the workload driver passes the cost model's
+/// total instruction count — so phase "times" are deterministic and merge
+/// like any other histogram. A null histogram makes the timer free: the
+/// clock is never even read.
+template <typename Clock> class PhaseTimer {
+public:
+  PhaseTimer(TelemetryHistogram *PhaseHist, Clock ClockFn)
+      : Hist(PhaseHist), Now(ClockFn), Start(PhaseHist ? ClockFn() : 0) {}
+  ~PhaseTimer() {
+    if (Hist)
+      Hist->record(Now() - Start);
+  }
+
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+private:
+  TelemetryHistogram *Hist;
+  Clock Now;
+  uint64_t Start;
+};
+
+template <typename Clock>
+PhaseTimer(TelemetryHistogram *, Clock) -> PhaseTimer<Clock>;
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_STATS_TELEMETRY_H

@@ -2,6 +2,7 @@
 
 #include "vm/PageSim.h"
 
+#include "stats/Telemetry.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -55,6 +56,27 @@ void PageSim::compact() {
   assert(ActiveSlots == Slot && "active slot count diverged");
 }
 
+void PageSim::attachTelemetry(Telemetry *Registry) {
+  RunLenHist = Registry ? Registry->histogram("vm.page_run_len") : nullptr;
+}
+
+void PageSim::noteRunPage(uint64_t Page, uint64_t Touches) {
+  if (CurrentRunLen != 0 && Page == CurrentRunPage) {
+    CurrentRunLen += Touches;
+    return;
+  }
+  if (CurrentRunLen != 0)
+    RunLenHist->record(CurrentRunLen);
+  CurrentRunPage = Page;
+  CurrentRunLen = Touches;
+}
+
+void PageSim::flushRunTelemetry() {
+  if (RunLenHist && CurrentRunLen != 0)
+    RunLenHist->record(CurrentRunLen);
+  CurrentRunLen = 0;
+}
+
 void PageSim::access(const MemAccess &Acc) {
   // A multi-byte access that straddles a page boundary touches both pages;
   // with 4 KB pages and word accesses this is effectively never taken, but
@@ -64,6 +86,8 @@ void PageSim::access(const MemAccess &Acc) {
       (Acc.Address + std::max<uint32_t>(Acc.Size, 1) - 1) >> PageShift;
   for (uint64_t Page = FirstPage; Page <= LastPage; ++Page) {
     ++References;
+    if (RunLenHist)
+      noteRunPage(Page, 1);
     // Fast path: a re-reference to the most recent page has stack distance
     // zero and leaves the LRU order unchanged. This covers the bulk of a
     // program's references (object sweeps, stack traffic).
@@ -117,6 +141,10 @@ void PageSim::accessBatch(const MemAccess *Batch, size_t Count) {
       const uint64_t Run = I - RunStart;
       References += Run;
       ZeroDistanceHits += Run;
+      // Same decision the scalar path makes per record: every record in the
+      // skipped run is one page-touch of the MRU page.
+      if (RunLenHist && Run != 0)
+        noteRunPage(Recent, Run);
       if (I == Count)
         return;
     }

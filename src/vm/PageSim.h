@@ -30,6 +30,9 @@
 
 namespace allocsim {
 
+class Telemetry;
+class TelemetryHistogram;
+
 /// LRU page-fault simulator over the reference stream.
 class PageSim final : public AccessSink {
 public:
@@ -78,7 +81,22 @@ public:
 
   uint32_t pageBytes() const { return PageBytes; }
 
+  /// Attaches (or detaches, with nullptr) a telemetry registry; at full
+  /// level a "vm.page_run_len" histogram then records the length of every
+  /// maximal run of consecutive page-touches to one page. Runs are tracked
+  /// at the per-reference level in both the scalar and batched paths (and
+  /// persist across batch boundaries), so the histogram is delivery-mode
+  /// independent. Call flushRunTelemetry before reading the snapshot to
+  /// close the trailing run.
+  void attachTelemetry(Telemetry *Registry);
+
+  /// Records the still-open trailing run, if any.
+  void flushRunTelemetry();
+
 private:
+  /// Per-page-touch run tracking for the run-length histogram.
+  void noteRunPage(uint64_t Page, uint64_t Touches);
+
   void fenwickAdd(uint32_t Slot, int Delta);
   uint32_t fenwickPrefix(uint32_t Slot) const;
   void compact();
@@ -99,6 +117,11 @@ private:
   uint64_t ZeroDistanceHits = 0;
   uint64_t MostRecentPage = 0;
   bool HaveRecent = false;
+
+  /// Run-length telemetry; RunLenHist null when telemetry is off.
+  TelemetryHistogram *RunLenHist = nullptr;
+  uint64_t CurrentRunPage = 0;
+  uint64_t CurrentRunLen = 0;
 };
 
 } // namespace allocsim

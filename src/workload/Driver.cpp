@@ -28,7 +28,28 @@ void Driver::chargeRef() {
   }
 }
 
+void Driver::attachTelemetry(Telemetry *Registry) {
+  EventsProbe = Registry ? Registry->counter("driver.events") : nullptr;
+  OpInstrHists = {};
+  if (Registry) {
+    OpInstrHists[static_cast<unsigned>(AllocEventKind::Malloc)] =
+        Registry->histogram("driver.malloc_instr");
+    OpInstrHists[static_cast<unsigned>(AllocEventKind::Free)] =
+        Registry->histogram("driver.free_instr");
+    OpInstrHists[static_cast<unsigned>(AllocEventKind::Touch)] =
+        Registry->histogram("driver.touch_instr");
+    OpInstrHists[static_cast<unsigned>(AllocEventKind::StackTouch)] =
+        Registry->histogram("driver.stack_instr");
+  }
+}
+
 void Driver::execute(const AllocEvent &Event) {
+  if (EventsProbe)
+    EventsProbe->add();
+  // Times the whole operation (allocator work + emitted touches) on the
+  // simulated instruction clock; free when the histogram is null.
+  PhaseTimer Timer(OpInstrHists[static_cast<unsigned>(Event.Kind)],
+                   [this] { return Cost.totalInstructions(); });
   switch (Event.Kind) {
   case AllocEventKind::Malloc: {
     Addr Address = Alloc.malloc(Event.Amount);

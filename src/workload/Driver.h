@@ -24,8 +24,10 @@
 #define ALLOCSIM_WORKLOAD_DRIVER_H
 
 #include "alloc/Allocator.h"
+#include "stats/Telemetry.h"
 #include "trace/AllocEvents.h"
 
+#include <array>
 #include <unordered_map>
 
 namespace allocsim {
@@ -57,6 +59,14 @@ public:
   /// operation clock is advanced after every malloc/free event.
   void setHeapCheck(HeapCheck *Checker) { Check = Checker; }
 
+  /// Attaches (or detaches, with nullptr) a telemetry registry. A
+  /// "driver.events" counter tracks executed events; at full level a
+  /// per-event-kind PhaseTimer records each operation's instruction cost
+  /// (app + alloc, from the simulated clock — deterministic, unlike wall
+  /// time) into "driver.malloc_instr" / "driver.free_instr" /
+  /// "driver.touch_instr" / "driver.stack_instr".
+  void attachTelemetry(Telemetry *Registry);
+
 private:
   void touchObject(Addr Address, uint32_t ObjectWords, uint32_t Words,
                    AccessKind Kind);
@@ -79,6 +89,11 @@ private:
 
   /// Optional heap-integrity checker (null when checking is off).
   HeapCheck *Check = nullptr;
+
+  /// Telemetry probes; null when telemetry is off. OpInstrHists is indexed
+  /// by AllocEventKind.
+  TelemetryCounter *EventsProbe = nullptr;
+  std::array<TelemetryHistogram *, 4> OpInstrHists{};
 
   /// Stack zig-zag state.
   uint32_t StackWindowBytes;

@@ -30,6 +30,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -190,6 +192,56 @@ TEST(AllocatorFuzzTest, BatchedMatchesScalarDifferentially) {
                    std::to_string(Seed));
       std::vector<AllocEvent> Events = synthesizeScript(Seed, 2000);
       FuzzOutcome Batched = replay(Events, Kind, /*Batched=*/true);
+      FuzzOutcome Scalar = replay(Events, Kind, /*Batched=*/false);
+      EXPECT_EQ(Batched, Scalar);
+    }
+  }
+}
+
+namespace {
+
+/// Loads every committed corpus script (tests/corpus/*.events) in sorted
+/// order, so failures attribute to a stable file name.
+std::vector<std::pair<std::string, std::vector<AllocEvent>>> loadCorpus() {
+  std::vector<std::pair<std::string, std::vector<AllocEvent>>> Corpus;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(ALLOCSIM_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".events")
+      continue;
+    std::ifstream In(Entry.path());
+    EXPECT_TRUE(In.good()) << Entry.path();
+    Corpus.emplace_back(Entry.path().filename().string(),
+                        readAllocEvents(In));
+  }
+  std::sort(Corpus.begin(), Corpus.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  EXPECT_GE(Corpus.size(), 6u) << "corpus files missing from "
+                               << ALLOCSIM_CORPUS_DIR;
+  return Corpus;
+}
+
+} // namespace
+
+TEST(AllocatorFuzzTest, CommittedCorpusIsWellFormed) {
+  for (const auto &[Name, Events] : loadCorpus()) {
+    std::string WhyNot;
+    EXPECT_TRUE(validateAllocEvents(Events, &WhyNot)) << Name << ": " << WhyNot;
+    EXPECT_FALSE(Events.empty()) << Name;
+  }
+}
+
+TEST(AllocatorFuzzTest, CommittedCorpusReplaysClean) {
+  // The committed streams replay against every allocator with full heap
+  // checking and must stay differential-identical across delivery modes —
+  // the same bar as the seeded cases, but pinned to the exact historical
+  // bytes rather than to the generator.
+  for (const auto &[Name, Events] : loadCorpus()) {
+    for (AllocatorKind Kind : PaperAllocators) {
+      SCOPED_TRACE(Name + "/" + allocatorKindName(Kind));
+      FuzzOutcome Batched = replay(Events, Kind, /*Batched=*/true);
+      EXPECT_EQ(Batched.Violations, 0u)
+          << (Batched.Reports.empty() ? std::string("(no report)")
+                                      : Batched.Reports.front());
       FuzzOutcome Scalar = replay(Events, Kind, /*Batched=*/false);
       EXPECT_EQ(Batched, Scalar);
     }

@@ -54,6 +54,20 @@ bool writeStoreFile(const ResultStore &Store, const std::string &Path,
   return true;
 }
 
+bool writeTelemetryFile(const ResultStore &Store, const std::string &Path,
+                        bool Csv) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::cerr << "allocsim_cli: error: cannot write '" << Path << "'\n";
+    return false;
+  }
+  if (Csv)
+    Store.writeTelemetryCsv(Out);
+  else
+    Store.writeTelemetryJson(Out);
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -86,6 +100,15 @@ int main(int Argc, char **Argv) {
               "reference delivery to the simulators: batched (default) or "
               "scalar; results are bit-identical, scalar exists for "
               "equivalence checks and as the throughput baseline");
+  Cli.addFlag("telemetry", "off",
+              "telemetry probes: off (default; zero overhead, bit-identical "
+              "results), summary (counters) or full (counters + histograms)");
+  Cli.addFlag("out-telemetry-json", "",
+              "write per-cell + merged telemetry snapshots as JSON "
+              "(schema allocsim-telemetry-v1) to this path");
+  Cli.addFlag("out-telemetry-csv", "",
+              "write long-form telemetry (one row per cell x instrument) "
+              "as CSV to this path");
   Cli.addFlag("csv", "false", "emit the summary table as CSV");
   if (!Cli.parse(Argc, Argv))
     return 2;
@@ -105,6 +128,10 @@ int main(int Argc, char **Argv) {
   else
     return usageError("bad --delivery '" + Cli.getString("delivery") +
                       "' (expected batched or scalar)");
+  if (!tryParseTelemetryLevel(Cli.getString("telemetry"),
+                              Spec.Base.Telemetry))
+    return usageError("bad --telemetry '" + Cli.getString("telemetry") +
+                      "' (expected off, summary or full)");
 
   if (!Cli.getString("matrix").empty()) {
     if (!parseMatrixSpec(Cli.getString("matrix"), Spec, Error))
@@ -159,6 +186,14 @@ int main(int Argc, char **Argv) {
     return 2;
   if (!Cli.getString("out-csv").empty() &&
       !writeStoreFile(Store, Cli.getString("out-csv"), /*Csv=*/true))
+    return 2;
+  if (!Cli.getString("out-telemetry-json").empty() &&
+      !writeTelemetryFile(Store, Cli.getString("out-telemetry-json"),
+                          /*Csv=*/false))
+    return 2;
+  if (!Cli.getString("out-telemetry-csv").empty() &&
+      !writeTelemetryFile(Store, Cli.getString("out-telemetry-csv"),
+                          /*Csv=*/true))
     return 2;
 
   bool ManyPenalties = Spec.PenaltiesCycles.size() > 1;

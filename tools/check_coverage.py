@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Line-coverage ratchet gate for the test suite.
+
+Compares a gcovr JSON summary report (``gcovr --json-summary``) against the
+committed ratchet (COVERAGE.json at the repo root). The gate is a *floor*,
+not a target: the build fails when line coverage drops below the committed
+floor, and the floor is only ever moved up, by committing a new ratchet
+after coverage has genuinely improved:
+
+    gcovr --root . --filter 'src/' --filter 'tools/' \
+          --json-summary-pretty -o coverage.json
+    python3 tools/check_coverage.py coverage.json COVERAGE.json --suggest
+
+Exit status: 0 = pass, 1 = coverage below floor or malformed report,
+2 = bad usage.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path, what):
+    """Loads one JSON file; dies with attribution on malformation."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"check_coverage: cannot read {what} {path}: {err}")
+
+
+def line_percent(summary, path):
+    """Extracts the aggregate line-coverage percentage from a gcovr JSON
+    summary, recomputing from raw counts when both are present (the percent
+    field is rounded; the counts are exact)."""
+    covered = summary.get("line_covered")
+    total = summary.get("line_total")
+    if isinstance(covered, (int, float)) and isinstance(total, (int, float)):
+        if total <= 0:
+            sys.exit(f"check_coverage: {path}: no measurable lines")
+        return 100.0 * covered / total
+    percent = summary.get("line_percent")
+    if not isinstance(percent, (int, float)):
+        sys.exit(
+            f"check_coverage: {path}: neither line_covered/line_total nor "
+            "line_percent present — not a gcovr --json-summary report?"
+        )
+    return float(percent)
+
+
+def load_floor(path):
+    ratchet = load_json(path, "ratchet")
+    floor = ratchet.get("line_percent_floor")
+    if not isinstance(floor, (int, float)) or not 0 <= floor <= 100:
+        sys.exit(
+            f"check_coverage: {path}: line_percent_floor missing or out of "
+            "[0, 100]"
+        )
+    return float(floor)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("summary", help="gcovr --json-summary report")
+    parser.add_argument("ratchet", help="committed COVERAGE.json floor")
+    parser.add_argument(
+        "--suggest",
+        action="store_true",
+        help="print a suggested new floor when coverage has headroom",
+    )
+    args = parser.parse_args()
+
+    floor = load_floor(args.ratchet)
+    current = line_percent(load_json(args.summary, "summary"), args.summary)
+
+    print(
+        f"check_coverage: line coverage {current:.2f}% "
+        f"(committed floor {floor:.2f}%)"
+    )
+    if current < floor:
+        print(
+            f"check_coverage: coverage fell below the committed floor — "
+            f"add tests or (only with a reviewed justification) lower "
+            f"{args.ratchet}",
+            file=sys.stderr,
+        )
+        return 1
+    # Ratchet hint: suggest raising the floor once there are >2 points of
+    # headroom, keeping a 2-point slack so unrelated PRs don't flake.
+    if args.suggest and current - floor > 2.0:
+        print(
+            f"check_coverage: headroom available — consider raising "
+            f"line_percent_floor to {current - 2.0:.1f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
