@@ -93,7 +93,7 @@ std::pair<uint64_t, double> runOnce(const PipelineConfig &Config,
       Caches.addCache(CacheConf);
   if (Config.SingleCache)
     Caches.addCache(CacheConfig{16 * 1024, 32, 1});
-  if (Caches.size() != 0)
+  if (!Caches.empty())
     Bus.attach(&Caches);
 
   std::unique_ptr<PageSim> Paging;

@@ -78,6 +78,7 @@ void Allocator::attachTelemetry(Telemetry *Registry,
   MallocsProbe = counterProbe("mallocs");
   FreesProbe = counterProbe("frees");
   SearchLenHist = histogramProbe("search_len");
+  RequestBytesHist = histogramProbe("request_bytes");
   onTelemetryAttached();
 }
 
@@ -87,6 +88,8 @@ Addr Allocator::malloc(uint32_t Size) {
   Stats.BytesRequested += Size;
   if (MallocsProbe)
     MallocsProbe->add();
+  if (RequestBytesHist)
+    RequestBytesHist->record(Size);
   uint64_t SearchedBefore = SearchLenHist ? blocksSearched() : 0;
 
   Addr Ptr = doMalloc(Size);
@@ -102,6 +105,8 @@ Addr Allocator::malloc(uint32_t Size) {
 
   Stats.LiveBytes += Size;
   Stats.MaxLiveBytes = std::max(Stats.MaxLiveBytes, Stats.LiveBytes);
+  ++Stats.LiveObjects;
+  Stats.MaxLiveObjects = std::max(Stats.MaxLiveObjects, Stats.LiveObjects);
   return Ptr;
 }
 
@@ -117,6 +122,7 @@ void Allocator::free(Addr Ptr) {
   }
   uint32_t Size = It->second;
   Stats.LiveBytes -= Size;
+  --Stats.LiveObjects;
   LiveObjects.erase(It);
   ++Stats.FreeCalls;
   if (FreesProbe)

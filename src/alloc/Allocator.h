@@ -68,6 +68,13 @@ struct AllocatorStats {
   uint64_t LiveBytes = 0;
   /// High-water mark of LiveBytes.
   uint64_t MaxLiveBytes = 0;
+  /// Objects currently live.
+  uint64_t LiveObjects = 0;
+  /// High-water mark of LiveObjects. Together with MaxLiveBytes this is the
+  /// statically predictable part of memory pressure: TraceLint computes
+  /// both from a script without simulating, and the cross-check test holds
+  /// the simulator to the prediction bit-exactly.
+  uint64_t MaxLiveObjects = 0;
 };
 
 /// Abstract allocator over a simulated heap.
@@ -123,7 +130,9 @@ public:
   /// "<Prefix>.mallocs"/"<Prefix>.frees" counters and, at full level, a
   /// "<Prefix>.search_len" histogram of the per-malloc blocksSearched()
   /// delta (0 for non-searching paths — QuickFit's fast hits must show up
-  /// as zero-length searches for mean search length to be comparable).
+  /// as zero-length searches for mean search length to be comparable) and a
+  /// "<Prefix>.request_bytes" histogram of requested sizes — the size-class
+  /// distribution TraceLint predicts statically from a script.
   void attachTelemetry(Telemetry *Registry,
                        const std::string &Prefix = "alloc");
 
@@ -202,6 +211,7 @@ private:
   TelemetryCounter *MallocsProbe = nullptr;
   TelemetryCounter *FreesProbe = nullptr;
   TelemetryHistogram *SearchLenHist = nullptr;
+  TelemetryHistogram *RequestBytesHist = nullptr;
 };
 
 /// Creates an allocator of the given kind over \p Heap. AllocatorKind::Custom

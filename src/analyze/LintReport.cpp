@@ -1,0 +1,56 @@
+//===- analyze/LintReport.cpp - allocsim-lint-v1 report emission ----------===//
+
+#include "analyze/LintReport.h"
+
+#include <ostream>
+
+using namespace allocsim;
+
+LintSummary allocsim::summarizeLint(const std::vector<LintInput> &Inputs) {
+  LintSummary Summary;
+  for (const LintInput &Input : Inputs) {
+    Summary.Errors += Input.Diags.errorCount();
+    Summary.Warnings += Input.Diags.warningCount();
+  }
+  return Summary;
+}
+
+void allocsim::printLintReport(std::ostream &OS,
+                               const std::vector<LintInput> &Inputs) {
+  for (const LintInput &Input : Inputs)
+    Input.Diags.print(OS, Input.Name);
+  LintSummary Summary = summarizeLint(Inputs);
+  if (Summary.clean()) {
+    OS << Inputs.size() << " input" << (Inputs.size() == 1 ? "" : "s")
+       << " linted, clean\n";
+    return;
+  }
+  OS << Summary.Errors << " error" << (Summary.Errors == 1 ? "" : "s")
+     << ", " << Summary.Warnings << " warning"
+     << (Summary.Warnings == 1 ? "" : "s") << "\n";
+}
+
+void allocsim::writeLintReportJson(std::ostream &OS,
+                                   const std::vector<LintInput> &Inputs) {
+  OS << "{\"schema\": \"allocsim-lint-v1\",\n \"inputs\": [";
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    const LintInput &Input = Inputs[I];
+    OS << (I ? ",\n  " : "\n  ") << "{\"name\": \"" << jsonEscaped(Input.Name)
+       << "\",\n   \"kind\": \"" << jsonEscaped(Input.Kind)
+       << "\",\n   \"diagnostics\": ";
+    Input.Diags.writeJson(OS, "   ");
+    OS << ",\n   \"errors\": " << Input.Diags.errorCount()
+       << ", \"warnings\": " << Input.Diags.warningCount();
+    if (Input.Predictions) {
+      OS << ",\n   \"predictions\": ";
+      writeTracePredictionsJson(OS, *Input.Predictions, "   ");
+    }
+    OS << "}";
+  }
+  if (!Inputs.empty())
+    OS << "\n ";
+  LintSummary Summary = summarizeLint(Inputs);
+  OS << "],\n \"errors\": " << Summary.Errors
+     << ", \"warnings\": " << Summary.Warnings << ",\n \"clean\": "
+     << (Summary.clean() ? "true" : "false") << "}\n";
+}

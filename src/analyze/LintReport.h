@@ -1,0 +1,79 @@
+//===- analyze/LintReport.h - allocsim-lint-v1 report emission --*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable lint report shared by the allocsim_lint tool and
+/// allocsim_cli --lint-json. Schema `allocsim-lint-v1`:
+///
+/// \code{.json}
+///   {"schema": "allocsim-lint-v1",
+///    "inputs": [
+///      {"name": "<path or pseudo-name>",
+///       "kind": "trace" | "matrix-spec",
+///       "diagnostics": [{"rule", "severity", "line", "column",
+///                        "message"}, ...],
+///       "errors": <count>, "warnings": <count>,
+///       "predictions": { ... }},        // traces that had no errors only
+///      ...],
+///    "errors": <total>, "warnings": <total>,
+///    "clean": true|false}
+/// \endcode
+///
+/// "clean" is true iff no input produced any diagnostic at all — the same
+/// predicate behind exit code 0. Predictions (see TraceLint.h) appear only
+/// for trace inputs that validated error-free, since they are only
+/// simulator-exact for sound scripts.
+///
+/// Everything is emitted in input order with stable formatting, so the
+/// report is byte-deterministic for a given input set — tests diff it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ANALYZE_LINTREPORT_H
+#define ALLOCSIM_ANALYZE_LINTREPORT_H
+
+#include "analyze/TraceLint.h"
+#include "support/Diag.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace allocsim {
+
+/// One linted input and everything found about it.
+struct LintInput {
+  /// File path, or a pseudo-name like "--matrix" / "<stdin>".
+  std::string Name;
+  /// "trace" or "matrix-spec".
+  std::string Kind;
+  DiagEngine Diags;
+  /// Static predictions; set for error-free trace inputs.
+  std::optional<TracePredictions> Predictions;
+};
+
+/// Totals over a report's inputs.
+struct LintSummary {
+  size_t Errors = 0;
+  size_t Warnings = 0;
+
+  bool clean() const { return Errors == 0 && Warnings == 0; }
+};
+
+LintSummary summarizeLint(const std::vector<LintInput> &Inputs);
+
+/// Human-readable rendering: compiler-style diagnostic lines per input,
+/// then a one-line totals summary ("3 errors, 1 warning" or "clean").
+void printLintReport(std::ostream &OS, const std::vector<LintInput> &Inputs);
+
+/// The allocsim-lint-v1 JSON document described above.
+void writeLintReportJson(std::ostream &OS,
+                         const std::vector<LintInput> &Inputs);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ANALYZE_LINTREPORT_H

@@ -1,0 +1,148 @@
+//===- analyze/TraceLint.cpp - Static analysis of event scripts -----------===//
+
+#include "analyze/TraceLint.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+
+using namespace allocsim;
+
+std::vector<LocatedAllocEvent> allocsim::lintTraceScript(std::istream &IS,
+                                                         DiagEngine &Diags) {
+  std::vector<LocatedAllocEvent> Events = parseAllocEvents(IS, Diags);
+  std::vector<AllocEvent> Bare;
+  std::vector<SourceLoc> Locs;
+  Bare.reserve(Events.size());
+  Locs.reserve(Events.size());
+  for (const LocatedAllocEvent &Event : Events) {
+    Bare.push_back(Event.Event);
+    Locs.push_back(Event.Loc);
+  }
+  validateAllocEvents(Bare, Diags, &Locs);
+  return Events;
+}
+
+TraceModel allocsim::buildTraceModel(std::vector<LocatedAllocEvent> Events) {
+  TraceModel Model;
+  Model.Events = std::move(Events);
+  // Id -> index into Model.Objects of the currently-live binding. Mirrors
+  // the Driver's Objects map: a free or touch resolves to the most recent
+  // malloc of that id.
+  std::unordered_map<uint32_t, size_t> Live;
+  for (size_t I = 0; I != Model.Events.size(); ++I) {
+    const LocatedAllocEvent &Located = Model.Events[I];
+    const AllocEvent &Event = Located.Event;
+    switch (Event.Kind) {
+    case AllocEventKind::Malloc: {
+      ObjectLifetime Object;
+      Object.Id = Event.Id;
+      Object.Size = Event.Amount;
+      Object.BirthIdx = I;
+      Object.BirthLoc = Located.Loc;
+      Live[Event.Id] = Model.Objects.size();
+      Model.Objects.push_back(std::move(Object));
+      break;
+    }
+    case AllocEventKind::Free: {
+      auto It = Live.find(Event.Id);
+      if (It == Live.end())
+        break; // invalid free; already diagnosed
+      Model.Objects[It->second].DeathIdx = I;
+      Live.erase(It);
+      break;
+    }
+    case AllocEventKind::Touch: {
+      auto It = Live.find(Event.Id);
+      if (It == Live.end())
+        break; // invalid touch; already diagnosed
+      Model.Objects[It->second].TouchIdxs.push_back(I);
+      break;
+    }
+    case AllocEventKind::StackTouch:
+      break;
+    }
+  }
+  return Model;
+}
+
+TracePredictions allocsim::predictTrace(const TraceModel &Model) {
+  TracePredictions P;
+  P.Events = Model.Events.size();
+
+  // Event-kind counts and application reference volume come straight off
+  // the stream; live-bytes/objects trajectories need the running walk.
+  TelemetryHistogram RequestSizes;
+  uint64_t LiveBytes = 0, LiveObjects = 0;
+  std::unordered_map<uint32_t, uint32_t> LiveSizes;
+  for (const LocatedAllocEvent &Located : Model.Events) {
+    const AllocEvent &Event = Located.Event;
+    switch (Event.Kind) {
+    case AllocEventKind::Malloc: {
+      ++P.MallocCalls;
+      P.BytesRequested += Event.Amount;
+      RequestSizes.record(Event.Amount);
+      LiveBytes += Event.Amount;
+      ++LiveObjects;
+      P.MaxLiveBytes = std::max(P.MaxLiveBytes, LiveBytes);
+      P.MaxLiveObjects = std::max(P.MaxLiveObjects, LiveObjects);
+      LiveSizes[Event.Id] = Event.Amount;
+      break;
+    }
+    case AllocEventKind::Free: {
+      auto It = LiveSizes.find(Event.Id);
+      if (It == LiveSizes.end())
+        break; // invalid free: the simulator would die, predictions are
+               // best-effort on erroneous scripts
+      ++P.FreeCalls;
+      LiveBytes -= It->second;
+      --LiveObjects;
+      LiveSizes.erase(It);
+      break;
+    }
+    case AllocEventKind::Touch:
+      ++P.TouchEvents;
+      P.AppRefs += Event.Amount;
+      break;
+    case AllocEventKind::StackTouch:
+      ++P.StackTouchEvents;
+      P.AppRefs += Event.Amount;
+      break;
+    }
+  }
+  P.FinalLiveBytes = LiveBytes;
+  P.FinalLiveObjects = LiveObjects;
+  P.RequestSizes = RequestSizes.snapshot();
+
+  // Object lifetimes on the event clock, straight from the IR intervals;
+  // leaked objects have no death and are never recorded — exactly the
+  // driver's behavior (it records at the free).
+  TelemetryHistogram Lifetimes;
+  for (const ObjectLifetime &Object : Model.Objects)
+    if (Object.DeathIdx)
+      Lifetimes.record(Object.lifetimeEvents());
+  P.Lifetimes = Lifetimes.snapshot();
+  return P;
+}
+
+void allocsim::writeTracePredictionsJson(std::ostream &OS,
+                                         const TracePredictions &P,
+                                         const std::string &Indent) {
+  OS << "{\n";
+  OS << Indent << " \"events\": " << P.Events << ",\n";
+  OS << Indent << " \"mallocs\": " << P.MallocCalls << ",\n";
+  OS << Indent << " \"frees\": " << P.FreeCalls << ",\n";
+  OS << Indent << " \"touches\": " << P.TouchEvents << ",\n";
+  OS << Indent << " \"stack_touches\": " << P.StackTouchEvents << ",\n";
+  OS << Indent << " \"bytes_requested\": " << P.BytesRequested << ",\n";
+  OS << Indent << " \"max_live_bytes\": " << P.MaxLiveBytes << ",\n";
+  OS << Indent << " \"final_live_bytes\": " << P.FinalLiveBytes << ",\n";
+  OS << Indent << " \"max_live_objects\": " << P.MaxLiveObjects << ",\n";
+  OS << Indent << " \"final_live_objects\": " << P.FinalLiveObjects << ",\n";
+  OS << Indent << " \"app_refs\": " << P.AppRefs << ",\n";
+  OS << Indent << " \"request_bytes\": ";
+  writeHistogramJson(OS, P.RequestSizes);
+  OS << ",\n" << Indent << " \"obj_lifetime\": ";
+  writeHistogramJson(OS, P.Lifetimes);
+  OS << "\n" << Indent << "}";
+}

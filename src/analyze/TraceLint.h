@@ -1,0 +1,141 @@
+//===- analyze/TraceLint.h - Static analysis of event scripts ---*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TraceLint: static analysis of allocation-event scripts, no simulation
+/// involved. A script fully determines the *request-stream* side of a run —
+/// which objects exist when, how big they are, how often they are touched —
+/// before any allocator places a single byte. TraceLint exploits that:
+///
+///  1. **Diagnostics.** Every syntactic and semantic defect in a script
+///     (double frees, use-after-free touches, leaks, zero sizes, malformed
+///     records) is reported with line/column and a stable rule id — see the
+///     rule tables in trace/AllocEvents.h, whose exhaustive parser and
+///     validator this is the façade over.
+///
+///  2. **The lifetime IR.** A validated script is lifted into a TraceModel:
+///     one ObjectLifetime per malloc with its birth/death event interval
+///     and touch sites. This is the object-lifetime view the paper reasons
+///     with (short-lived objects dominate, so cached placement matters).
+///
+///  3. **Static predictions.** From the IR, TraceLint computes exactly what
+///     parts of a simulation's outcome are allocator-independent: call and
+///     event counts, total bytes requested, the live-bytes/live-objects
+///     high-water marks, application reference volume, and the request-size
+///     and object-lifetime histograms on the telemetry bucket scheme. Each
+///     prediction equals — bit-exactly — a specific field of the RunResult
+///     that runScriptExperiment produces for the same script (see
+///     TracePredictions' member docs); tests/tracelint_crosscheck_test.cpp
+///     holds every corpus script to that. A mismatch means either the
+///     analyzer or the simulator mis-models the event semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ANALYZE_TRACELINT_H
+#define ALLOCSIM_ANALYZE_TRACELINT_H
+
+#include "stats/Telemetry.h"
+#include "support/Diag.h"
+#include "trace/AllocEvents.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace allocsim {
+
+/// One object's life in the script: the lifetime IR node.
+struct ObjectLifetime {
+  uint32_t Id = 0;
+  /// Requested bytes.
+  uint32_t Size = 0;
+  /// Event index (0-based) of the malloc.
+  size_t BirthIdx = 0;
+  /// Event index of the free; nullopt for objects that leak.
+  std::optional<size_t> DeathIdx;
+  /// Event indices of touches referring to this object while live.
+  std::vector<size_t> TouchIdxs;
+  /// Where the malloc record appeared in the script text.
+  SourceLoc BirthLoc;
+
+  /// Lifetime in events (free ordinal minus malloc ordinal), matching the
+  /// driver's "driver.obj_lifetime" clock; only for freed objects.
+  uint64_t lifetimeEvents() const { return *DeathIdx - BirthIdx; }
+};
+
+/// The lifetime IR: the event stream plus the per-object intervals lifted
+/// from it. Built with the same id-resolution rules the Driver uses, so on
+/// a validated script the model and the simulation agree by construction.
+/// On a script with semantic errors the model is best-effort (erroneous
+/// frees/touches are dropped, a double malloc rebinds the id).
+struct TraceModel {
+  std::vector<LocatedAllocEvent> Events;
+  /// In birth order.
+  std::vector<ObjectLifetime> Objects;
+};
+
+/// Everything about a run that is computable from the script alone. Every
+/// field equals a specific simulator measurement bit-exactly when the same
+/// (validated) script is run through runScriptExperiment with telemetry at
+/// TelemetryLevel::Full.
+struct TracePredictions {
+  /// == telemetry counter "driver.events".
+  uint64_t Events = 0;
+  /// == RunResult::Alloc.MallocCalls (and "alloc.mallocs").
+  uint64_t MallocCalls = 0;
+  /// == RunResult::Alloc.FreeCalls (and "alloc.frees").
+  uint64_t FreeCalls = 0;
+  /// Touch / stack-touch event counts (no direct telemetry counterpart;
+  /// Events == MallocCalls + FreeCalls + TouchEvents + StackTouchEvents).
+  uint64_t TouchEvents = 0;
+  uint64_t StackTouchEvents = 0;
+  /// == RunResult::Alloc.BytesRequested.
+  uint64_t BytesRequested = 0;
+  /// == RunResult::Alloc.MaxLiveBytes.
+  uint64_t MaxLiveBytes = 0;
+  /// == RunResult::Alloc.LiveBytes at end of run.
+  uint64_t FinalLiveBytes = 0;
+  /// == RunResult::Alloc.MaxLiveObjects.
+  uint64_t MaxLiveObjects = 0;
+  /// == RunResult::Alloc.LiveObjects at end of run.
+  uint64_t FinalLiveObjects = 0;
+  /// == RunResult::AppRefs: the driver emits exactly Amount references per
+  /// touch/stack-touch event (wrapping within the object, which changes
+  /// addresses but never the count).
+  uint64_t AppRefs = 0;
+  /// == telemetry histogram "alloc.request_bytes" (per-size-class
+  /// allocation counts on the fixed TelemetryBuckets scheme).
+  HistogramSnapshot RequestSizes;
+  /// == telemetry histogram "driver.obj_lifetime" (leaked objects are
+  /// never recorded, on either side).
+  HistogramSnapshot Lifetimes;
+};
+
+/// Parses and validates one script: every syntactic and semantic finding
+/// lands in \p Diags (exhaustively — analysis continues past each defect),
+/// and the parsed events are returned for IR construction.
+std::vector<LocatedAllocEvent> lintTraceScript(std::istream &IS,
+                                               DiagEngine &Diags);
+
+/// Lifts parsed events into the lifetime IR.
+TraceModel buildTraceModel(std::vector<LocatedAllocEvent> Events);
+
+/// Computes the static predictions from the IR. Exactness against the
+/// simulator is only guaranteed for scripts that validated without errors.
+TracePredictions predictTrace(const TraceModel &Model);
+
+/// Writes the predictions as one JSON object (integer-only; histograms in
+/// the same [lower_bound, count] bucket form telemetry snapshots use).
+/// \p Indent prefixes every emitted line.
+void writeTracePredictionsJson(std::ostream &OS,
+                               const TracePredictions &Predictions,
+                               const std::string &Indent);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ANALYZE_TRACELINT_H

@@ -206,6 +206,7 @@ public:
   void accessBatch(const MemAccess *Batch, size_t Count) override;
 
   size_t size() const { return Caches.size(); }
+  bool empty() const { return Caches.empty(); }
   const CacheSim &cache(size_t Index) const { return *Caches[Index]; }
   CacheSim &cache(size_t Index) { return *Caches[Index]; }
 

@@ -7,15 +7,19 @@
 #include "vm/PageSim.h"
 #include "workload/Driver.h"
 
+#include <functional>
 #include <memory>
 
 using namespace allocsim;
 
 namespace {
 
-std::unique_ptr<Allocator> buildAllocator(const ExperimentConfig &Config,
-                                          SimHeap &Heap, CostModel &Cost,
-                                          const WorkloadEngine &Engine) {
+/// \p SizeProfile is only invoked for AllocatorKind::Custom without explicit
+/// classes — lazily, because computing a request profile costs a full pass
+/// over the workload's request sequence (or the script's events).
+std::unique_ptr<Allocator>
+buildAllocator(const ExperimentConfig &Config, SimHeap &Heap, CostModel &Cost,
+               const std::function<Histogram()> &SizeProfile) {
   if (Config.Allocator == AllocatorKind::Custom) {
     if (Config.CustomClasses)
       return std::make_unique<CustomAlloc>(Heap, Cost,
@@ -23,8 +27,7 @@ std::unique_ptr<Allocator> buildAllocator(const ExperimentConfig &Config,
     // Synthesize size classes from this workload's own request profile —
     // the CustoMalloc flow the paper's conclusions advocate.
     SizeClassMap Classes = SizeClassMap::fromProfile(
-        Engine.sizeProfile(), Config.CustomExactClasses,
-        Config.CustomMaxFastBytes);
+        SizeProfile(), Config.CustomExactClasses, Config.CustomMaxFastBytes);
     return std::make_unique<CustomAlloc>(Heap, Cost, std::move(Classes));
   }
   if (Config.Allocator == AllocatorKind::GnuLocal)
@@ -36,11 +39,14 @@ std::unique_ptr<Allocator> buildAllocator(const ExperimentConfig &Config,
   return createAllocator(Config.Allocator, Heap, Cost);
 }
 
-} // namespace
-
-RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
-  const AppProfile &Profile = getProfile(Config.Workload);
-
+/// The shared rig: builds the bus/cache/paging/heap/allocator/driver stack,
+/// lets \p Feed push an event stream through the driver, and harvests the
+/// RunResult. runExperiment feeds from a WorkloadEngine, runScriptExperiment
+/// from a parsed event script — everything downstream of the event source is
+/// identical by construction.
+RunResult runWithDriver(const ExperimentConfig &Config, double InstrPerRef,
+                        const std::function<Histogram()> &SizeProfile,
+                        const std::function<void(Driver &)> &Feed) {
   // One registry per run: no locks, no sharing. Null when telemetry is off,
   // which leaves every probe pointer below null as well.
   std::unique_ptr<Telemetry> Telem;
@@ -54,7 +60,7 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
   CacheBank Caches;
   for (const CacheConfig &CacheConf : Config.Caches)
     Caches.addCache(CacheConf);
-  if (Caches.size() != 0)
+  if (!Caches.empty())
     Bus.attach(&Caches);
   // Per-set conflict profiles are histogram-grade data, so only the full
   // level pays for the per-set counter arrays.
@@ -72,9 +78,8 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
   SimHeap Heap(Bus);
   Heap.attachTelemetry(Telem.get());
   CostModel Cost;
-  WorkloadEngine Engine(Profile, Config.Engine);
   std::unique_ptr<Allocator> Alloc =
-      buildAllocator(Config, Heap, Cost, Engine);
+      buildAllocator(Config, Heap, Cost, SizeProfile);
   Alloc->attachTelemetry(Telem.get());
 
   std::unique_ptr<HeapCheck> Check;
@@ -83,10 +88,10 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
     Check->attachAllocator(*Alloc);
   }
 
-  Driver Drive(*Alloc, Bus, Cost, Profile.instrPerRef());
+  Driver Drive(*Alloc, Bus, Cost, InstrPerRef);
   Drive.setHeapCheck(Check.get());
   Drive.attachTelemetry(Telem.get());
-  Engine.generate([&](const AllocEvent &Event) { Drive.execute(Event); });
+  Feed(Drive);
   // End-of-run flush point: every sink has consumed the complete stream
   // before statistics are read or the final invariant walk runs.
   Bus.flush();
@@ -148,6 +153,38 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
     Result.Telemetry = Telem->snapshot();
   }
   return Result;
+}
+
+} // namespace
+
+RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
+  const AppProfile &Profile = getProfile(Config.Workload);
+  WorkloadEngine Engine(Profile, Config.Engine);
+  return runWithDriver(
+      Config, Profile.instrPerRef(),
+      [&Engine] { return Engine.sizeProfile(); },
+      [&Engine](Driver &Drive) {
+        Engine.generate([&](const AllocEvent &Event) { Drive.execute(Event); });
+      });
+}
+
+RunResult
+allocsim::runScriptExperiment(const ExperimentConfig &Config,
+                              const std::vector<AllocEvent> &Events) {
+  const AppProfile &Profile = getProfile(Config.Workload);
+  return runWithDriver(
+      Config, Profile.instrPerRef(),
+      [&Events] {
+        Histogram Sizes;
+        for (const AllocEvent &Event : Events)
+          if (Event.Kind == AllocEventKind::Malloc)
+            Sizes.add(Event.Amount);
+        return Sizes;
+      },
+      [&Events](Driver &Drive) {
+        for (const AllocEvent &Event : Events)
+          Drive.execute(Event);
+      });
 }
 
 std::vector<RunResult>

@@ -167,6 +167,18 @@ struct RunResult {
 /// Runs one experiment.
 RunResult runExperiment(const ExperimentConfig &Config);
 
+/// Runs one experiment whose event stream is \p Events (a parsed allocation
+/// script) instead of a synthesized workload. The rig — caches, paging,
+/// allocator, driver, telemetry, checking — is identical to runExperiment's;
+/// Config.Workload contributes only its instructions-per-reference ratio.
+/// For AllocatorKind::Custom without explicit classes, the size profile is
+/// synthesized from the script's own malloc sizes. \p Events must validate
+/// (see validateAllocEvents); the driver dies on unknown-object frees and
+/// touches. This is the replay half of TraceLint's cross-check: the
+/// analyzer's static predictions are asserted against this run's telemetry.
+RunResult runScriptExperiment(const ExperimentConfig &Config,
+                              const std::vector<AllocEvent> &Events);
+
 /// Runs the same workload over each allocator in \p Allocators (shared
 /// configuration otherwise), in order.
 std::vector<RunResult> runSweep(const ExperimentConfig &Base,

@@ -507,18 +507,19 @@ bool allocsim::parseMatrixSpec(const std::string &Text, MatrixSpec &Spec,
   Spec.Caches.clear();
   Spec.PagingMemoryKb.clear();
 
-  for (const std::string &Axis : splitSpecList(Text, ';')) {
-    if (Axis.empty()) {
-      Error = "bad matrix spec: empty axis (stray or trailing ';')";
-      return false;
-    }
-    std::string::size_type Eq = Axis.find('=');
-    if (Eq == std::string::npos) {
-      Error = "bad matrix axis '" + Axis + "': expected key=value";
-      return false;
-    }
-    std::string Key = Axis.substr(0, Eq);
-    std::string Value = Axis.substr(Eq + 1);
+  // Structural pass: axis shape, duplicate keys, empty values. The old
+  // parser silently accumulated duplicate list axes but last-write-won on
+  // scalar axes; both are now hard errors.
+  DiagEngine Diags;
+  std::vector<SpecKeyValue> Axes = parseSpecKeyValues(Text, Diags);
+  if (Diags.errorCount() != 0) {
+    Error = "bad matrix spec: " + Diags.firstError();
+    return false;
+  }
+
+  for (const SpecKeyValue &Axis : Axes) {
+    const std::string &Key = Axis.Key;
+    const std::string &Value = Axis.Value;
     if (Key == "workloads") {
       for (const std::string &Name : splitSpecList(Value, ',')) {
         WorkloadId Id;

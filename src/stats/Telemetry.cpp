@@ -92,6 +92,23 @@ void TelemetrySnapshot::merge(const TelemetrySnapshot &Other) {
     Histograms[Name].merge(Hist);
 }
 
+void allocsim::writeHistogramJson(std::ostream &OS,
+                                  const HistogramSnapshot &Hist) {
+  OS << "{\"count\": " << Hist.Count << ", \"sum\": " << Hist.Sum;
+  if (Hist.Count != 0)
+    OS << ", \"min\": " << Hist.Min << ", \"max\": " << Hist.Max;
+  OS << ", \"buckets\": [";
+  bool FirstBucket = true;
+  for (unsigned I = 0; I != TelemetryBuckets::NumBuckets; ++I) {
+    if (Hist.Buckets[I] == 0)
+      continue;
+    OS << (FirstBucket ? "" : ", ") << '[' << TelemetryBuckets::lowerBound(I)
+       << ", " << Hist.Buckets[I] << ']';
+    FirstBucket = false;
+  }
+  OS << "]}";
+}
+
 void TelemetrySnapshot::writeJson(std::ostream &OS,
                                   const std::string &Indent) const {
   OS << Indent << "{\"counters\": {";
@@ -103,20 +120,8 @@ void TelemetrySnapshot::writeJson(std::ostream &OS,
   OS << "},\n" << Indent << " \"histograms\": {";
   First = true;
   for (const auto &[Name, Hist] : Histograms) {
-    OS << (First ? "\n" : ",\n") << Indent << "  \"" << Name
-       << "\": {\"count\": " << Hist.Count << ", \"sum\": " << Hist.Sum;
-    if (Hist.Count != 0)
-      OS << ", \"min\": " << Hist.Min << ", \"max\": " << Hist.Max;
-    OS << ", \"buckets\": [";
-    bool FirstBucket = true;
-    for (unsigned I = 0; I != TelemetryBuckets::NumBuckets; ++I) {
-      if (Hist.Buckets[I] == 0)
-        continue;
-      OS << (FirstBucket ? "" : ", ") << '[' << TelemetryBuckets::lowerBound(I)
-         << ", " << Hist.Buckets[I] << ']';
-      FirstBucket = false;
-    }
-    OS << "]}";
+    OS << (First ? "\n" : ",\n") << Indent << "  \"" << Name << "\": ";
+    writeHistogramJson(OS, Hist);
     First = false;
   }
   if (!First)

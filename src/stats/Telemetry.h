@@ -169,6 +169,13 @@ struct TelemetrySnapshot {
   bool operator==(const TelemetrySnapshot &Other) const = default;
 };
 
+/// Writes one histogram as a single-line JSON object: {"count", "sum",
+/// "min"/"max" (when nonempty), "buckets": [[lower_bound, count], ...]}.
+/// Shared by TelemetrySnapshot::writeJson and the lint predictions emitter
+/// so a statically predicted histogram and a measured one render
+/// byte-identically.
+void writeHistogramJson(std::ostream &OS, const HistogramSnapshot &Hist);
+
 /// The per-run telemetry registry. One instance per experiment cell, never
 /// shared across threads — "lock-free when off" holds trivially because the
 /// off state is the absence of the registry, and the on state is

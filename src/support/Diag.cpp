@@ -1,0 +1,86 @@
+//===- support/Diag.cpp - Exhaustive diagnostics engine -------------------===//
+
+#include "support/Diag.h"
+
+#include <cstdio>
+#include <ostream>
+
+using namespace allocsim;
+
+const char *allocsim::diagSeverityName(DiagSeverity Severity) {
+  return Severity == DiagSeverity::Error ? "error" : "warning";
+}
+
+void DiagEngine::report(std::string Rule, DiagSeverity Severity,
+                        SourceLoc Loc, std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++Errors;
+  Diags.push_back({std::move(Rule), Severity, Loc, std::move(Message)});
+}
+
+std::string DiagEngine::firstError() const {
+  for (const Diag &D : Diags)
+    if (D.Severity == DiagSeverity::Error)
+      return D.Message;
+  return "";
+}
+
+void DiagEngine::print(std::ostream &OS, const std::string &Name) const {
+  for (const Diag &D : Diags) {
+    OS << Name;
+    if (D.Loc.Line != 0) {
+      OS << ":" << D.Loc.Line;
+      if (D.Loc.Column != 0)
+        OS << ":" << D.Loc.Column;
+    }
+    OS << ": " << diagSeverityName(D.Severity) << ": " << D.Message << " ["
+       << D.Rule << "]\n";
+  }
+}
+
+void DiagEngine::writeJson(std::ostream &OS,
+                           const std::string &Indent) const {
+  OS << "[";
+  for (size_t I = 0; I != Diags.size(); ++I) {
+    const Diag &D = Diags[I];
+    OS << (I ? ",\n" : "\n") << Indent << " {\"rule\": \""
+       << jsonEscaped(D.Rule) << "\", \"severity\": \""
+       << diagSeverityName(D.Severity) << "\", \"line\": " << D.Loc.Line
+       << ", \"column\": " << D.Loc.Column << ", \"message\": \""
+       << jsonEscaped(D.Message) << "\"}";
+  }
+  if (!Diags.empty())
+    OS << "\n" << Indent;
+  OS << "]";
+}
+
+std::string allocsim::jsonEscaped(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size() + 2);
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buffer;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}

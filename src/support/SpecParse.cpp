@@ -48,6 +48,48 @@ bool allocsim::parseSpecUnsigned(const std::string &Text,
   return true;
 }
 
+std::vector<SpecKeyValue> allocsim::parseSpecKeyValues(const std::string &Text,
+                                                       DiagEngine &Diags) {
+  std::vector<SpecKeyValue> Axes;
+  size_t Offset = 0;
+  for (const std::string &Axis : splitSpecList(Text, ';')) {
+    SourceLoc Loc{1, static_cast<uint32_t>(Offset + 1)};
+    // The next axis starts after this one and its ';'.
+    size_t AxisOffset = Offset;
+    Offset += Axis.size() + 1;
+
+    if (Axis.empty()) {
+      Diags.error("spec-empty-axis", Loc,
+                  "empty axis (stray or trailing ';')");
+      continue;
+    }
+    std::string::size_type Eq = Axis.find('=');
+    if (Eq == std::string::npos || Eq == 0) {
+      Diags.error("spec-missing-equals", Loc,
+                  "bad axis '" + Axis + "': expected key=value");
+      continue;
+    }
+    SpecKeyValue KV{Axis.substr(0, Eq), Axis.substr(Eq + 1), AxisOffset};
+    if (KV.Value.empty()) {
+      Diags.error("spec-empty-value", Loc,
+                  "axis '" + KV.Key + "' has an empty value");
+      continue;
+    }
+    bool Duplicate = false;
+    for (const SpecKeyValue &Seen : Axes)
+      if (Seen.Key == KV.Key) {
+        Diags.error("spec-duplicate-axis", Loc,
+                    "axis '" + KV.Key + "' given twice (first at column " +
+                        std::to_string(Seen.Offset + 1) + ")");
+        Duplicate = true;
+        break;
+      }
+    if (!Duplicate)
+      Axes.push_back(std::move(KV));
+  }
+  return Axes;
+}
+
 bool allocsim::parseSpecUnsignedList(const std::string &Text,
                                      const std::string &What,
                                      std::vector<uint32_t> &Values,

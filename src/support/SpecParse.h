@@ -18,6 +18,8 @@
 #ifndef ALLOCSIM_SUPPORT_SPECPARSE_H
 #define ALLOCSIM_SUPPORT_SPECPARSE_H
 
+#include "support/Diag.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,6 +41,33 @@ bool parseSpecUnsigned(const std::string &Text, const std::string &What,
 /// trailing separators, and non-numeric items are errors.
 bool parseSpecUnsignedList(const std::string &Text, const std::string &What,
                            std::vector<uint32_t> &Values, std::string &Error);
+
+/// One `key=value` axis of a semicolon-separated spec such as --matrix,
+/// with where its key starts in the original text (0-based; diagnostics
+/// render it as column Offset+1 on line 1 — specs are one-liners).
+struct SpecKeyValue {
+  std::string Key;
+  std::string Value;
+  size_t Offset = 0;
+};
+
+/// Splits a `key=value;key=value` spec into its axes, reporting every
+/// structural problem into \p Diags and continuing past each one:
+///
+///   spec-empty-axis      (error) empty axis (stray or trailing ';')
+///   spec-missing-equals  (error) axis without '=' or with an empty key
+///   spec-duplicate-axis  (error) key given twice (the old parser's
+///                                behavior was silently inconsistent:
+///                                list axes accumulated, scalar axes took
+///                                the last write — now both are rejected)
+///   spec-empty-value     (error) axis with an empty value ("workloads=")
+///
+/// Axes that parse cleanly (first occurrence on duplicates) are returned in
+/// spec order. Key *meaning* — known axis names, value syntax — is the
+/// caller's to check; parseMatrixSpec stops at the first error, the
+/// matrix-spec linter (analyze/SpecLint.h) reports all of them.
+std::vector<SpecKeyValue> parseSpecKeyValues(const std::string &Text,
+                                             DiagEngine &Diags);
 
 } // namespace allocsim
 

@@ -4,10 +4,12 @@
 
 #include "support/Error.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 
 using namespace allocsim;
 
@@ -33,70 +35,301 @@ void allocsim::writeAllocEvents(std::ostream &OS,
   }
 }
 
-std::vector<AllocEvent> allocsim::readAllocEvents(std::istream &IS) {
-  std::vector<AllocEvent> Events;
-  std::string Tag;
-  while (IS >> Tag) {
-    AllocEvent Event;
-    if (Tag == "m") {
-      uint32_t Id, Size;
-      if (!(IS >> Id >> Size))
-        reportFatalError("alloc events: truncated malloc record");
-      Event = AllocEvent::makeMalloc(Id, Size);
-    } else if (Tag == "f") {
-      uint32_t Id;
-      if (!(IS >> Id))
-        reportFatalError("alloc events: truncated free record");
-      Event = AllocEvent::makeFree(Id);
-    } else if (Tag == "t" || Tag == "s") {
-      uint32_t Id = 0, Words;
-      std::string Mode;
-      if (Tag == "t" && !(IS >> Id))
-        reportFatalError("alloc events: truncated touch record");
-      if (!(IS >> Words >> Mode) || (Mode != "r" && Mode != "w"))
-        reportFatalError("alloc events: malformed touch record");
-      AccessKind Kind = Mode == "r" ? AccessKind::Read : AccessKind::Write;
-      Event = Tag == "t" ? AllocEvent::makeTouch(Id, Words, Kind)
-                         : AllocEvent::makeStackTouch(Words, Kind);
-    } else {
-      reportFatalError("alloc events: unknown record tag '" + Tag + "'");
+//===----------------------------------------------------------------------===//
+// Exhaustive parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One whitespace-delimited token and its 1-based column.
+struct Token {
+  std::string Text;
+  uint32_t Column = 0;
+};
+
+std::vector<Token> tokenizeLine(const std::string &Line) {
+  std::vector<Token> Tokens;
+  size_t I = 0;
+  while (I != Line.size()) {
+    if (Line[I] == ' ' || Line[I] == '\t') {
+      ++I;
+      continue;
     }
-    Events.push_back(Event);
+    size_t Start = I;
+    while (I != Line.size() && Line[I] != ' ' && Line[I] != '\t')
+      ++I;
+    Tokens.push_back({Line.substr(Start, I - Start),
+                      static_cast<uint32_t>(Start + 1)});
+  }
+  return Tokens;
+}
+
+/// Parses a non-negative decimal integer up to \p Max. Reports
+/// trace-bad-number (or \p OverflowRule for values above Max) on failure.
+bool parseOperand(const Token &Tok, uint64_t Max, const char *What,
+                  const char *OverflowRule, SourceLoc Loc, DiagEngine &Diags,
+                  uint64_t &Value) {
+  const std::string &Text = Tok.Text;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long Parsed = std::strtoull(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0' || Text[0] == '-' ||
+      Text[0] == '+') {
+    Diags.error("trace-bad-number", Loc,
+                std::string("bad ") + What + ": '" + Text +
+                    "' is not a non-negative integer");
+    return false;
+  }
+  if (errno == ERANGE || Parsed > Max) {
+    Diags.error(OverflowRule, Loc,
+                std::string(What) + " '" + Text + "' is out of range (max " +
+                    std::to_string(Max) + ")");
+    return false;
+  }
+  Value = Parsed;
+  return true;
+}
+
+/// Operand count check; reports trace-truncated-record at the tag.
+bool requireOperands(const std::vector<Token> &Tokens, size_t Needed,
+                     const char *Record, uint32_t Line, DiagEngine &Diags) {
+  if (Tokens.size() >= 1 + Needed)
+    return true;
+  Diags.error("trace-truncated-record", {Line, Tokens[0].Column},
+              std::string("truncated ") + Record + " record: expected " +
+                  std::to_string(Needed) + " operand" +
+                  (Needed == 1 ? "" : "s") + ", got " +
+                  std::to_string(Tokens.size() - 1));
+  return false;
+}
+
+/// Parses the r|w access-mode operand.
+bool parseMode(const Token &Tok, SourceLoc Loc, DiagEngine &Diags,
+               AccessKind &Kind) {
+  if (Tok.Text == "r") {
+    Kind = AccessKind::Read;
+    return true;
+  }
+  if (Tok.Text == "w") {
+    Kind = AccessKind::Write;
+    return true;
+  }
+  Diags.error("trace-bad-access-mode", Loc,
+              "bad access mode '" + Tok.Text + "' (expected r or w)");
+  return false;
+}
+
+} // namespace
+
+std::vector<LocatedAllocEvent>
+allocsim::parseAllocEvents(std::istream &IS, DiagEngine &Diags) {
+  // The driver word-rounds malloc sizes as (Size + 3) / 4 in 32 bits, so a
+  // size above this would silently wrap to zero words.
+  constexpr uint64_t MaxMallocBytes = 0xFFFFFFFFull - 3;
+  constexpr uint64_t MaxU32 = 0xFFFFFFFFull;
+
+  std::vector<LocatedAllocEvent> Events;
+  std::string Line;
+  for (uint32_t LineNo = 1; std::getline(IS, Line); ++LineNo) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    std::vector<Token> Tokens = tokenizeLine(Line);
+    if (Tokens.empty())
+      continue;
+
+    const Token &Tag = Tokens[0];
+    SourceLoc TagLoc{LineNo, Tag.Column};
+    auto OperandLoc = [&](size_t I) {
+      return SourceLoc{LineNo, Tokens[I].Column};
+    };
+
+    AllocEvent Event;
+    size_t Operands = 0;
+    bool Ok = true;
+    if (Tag.Text == "m") {
+      Operands = 2;
+      uint64_t Id = 0, Size = 0;
+      Ok = requireOperands(Tokens, 2, "malloc", LineNo, Diags) &&
+           parseOperand(Tokens[1], MaxU32, "object id", "trace-bad-number",
+                        OperandLoc(1), Diags, Id) &
+               parseOperand(Tokens[2], MaxMallocBytes, "malloc size",
+                            "trace-size-overflow", OperandLoc(2), Diags,
+                            Size);
+      if (Ok)
+        Event = AllocEvent::makeMalloc(static_cast<uint32_t>(Id),
+                                       static_cast<uint32_t>(Size));
+    } else if (Tag.Text == "f") {
+      Operands = 1;
+      uint64_t Id = 0;
+      Ok = requireOperands(Tokens, 1, "free", LineNo, Diags) &&
+           parseOperand(Tokens[1], MaxU32, "object id", "trace-bad-number",
+                        OperandLoc(1), Diags, Id);
+      if (Ok)
+        Event = AllocEvent::makeFree(static_cast<uint32_t>(Id));
+    } else if (Tag.Text == "t") {
+      Operands = 3;
+      uint64_t Id = 0, Words = 0;
+      AccessKind Kind = AccessKind::Read;
+      Ok = requireOperands(Tokens, 3, "touch", LineNo, Diags) &&
+           parseOperand(Tokens[1], MaxU32, "object id", "trace-bad-number",
+                        OperandLoc(1), Diags, Id) &
+               parseOperand(Tokens[2], MaxU32, "touch words",
+                            "trace-bad-number", OperandLoc(2), Diags,
+                            Words) &
+               parseMode(Tokens[3], OperandLoc(3), Diags, Kind);
+      if (Ok)
+        Event = AllocEvent::makeTouch(static_cast<uint32_t>(Id),
+                                      static_cast<uint32_t>(Words), Kind);
+    } else if (Tag.Text == "s") {
+      Operands = 2;
+      uint64_t Words = 0;
+      AccessKind Kind = AccessKind::Read;
+      Ok = requireOperands(Tokens, 2, "stack touch", LineNo, Diags) &&
+           parseOperand(Tokens[1], MaxU32, "touch words", "trace-bad-number",
+                        OperandLoc(1), Diags, Words) &
+               parseMode(Tokens[2], OperandLoc(2), Diags, Kind);
+      if (Ok)
+        Event = AllocEvent::makeStackTouch(static_cast<uint32_t>(Words),
+                                           Kind);
+    } else {
+      Diags.error("trace-unknown-tag", TagLoc,
+                  "unknown record tag '" + Tag.Text +
+                      "' (expected m, f, t or s)");
+      continue;
+    }
+
+    if (Tokens.size() > 1 + Operands)
+      Diags.error("trace-trailing-junk", OperandLoc(1 + Operands),
+                  "trailing text after complete record: '" +
+                      Tokens[1 + Operands].Text + "'");
+    if (Ok)
+      Events.push_back({Event, TagLoc});
   }
   return Events;
 }
 
-bool allocsim::validateAllocEvents(const std::vector<AllocEvent> &Events,
-                                   std::string *WhyNot) {
-  auto Fail = [&](const std::string &Reason) {
-    if (WhyNot)
-      *WhyNot = Reason;
-    return false;
+std::vector<AllocEvent> allocsim::readAllocEvents(std::istream &IS) {
+  DiagEngine Diags;
+  std::vector<LocatedAllocEvent> Located = parseAllocEvents(IS, Diags);
+  if (Diags.errorCount() != 0) {
+    const Diag &First = Diags.diags().front();
+    reportFatalError("alloc events: line " + std::to_string(First.Loc.Line) +
+                     ": " + First.Message);
+  }
+  std::vector<AllocEvent> Events;
+  Events.reserve(Located.size());
+  for (const LocatedAllocEvent &Event : Located)
+    Events.push_back(Event.Event);
+  return Events;
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive semantic validation
+//===----------------------------------------------------------------------===//
+
+void allocsim::validateAllocEvents(const std::vector<AllocEvent> &Events,
+                                   DiagEngine &Diags,
+                                   const std::vector<SourceLoc> *Locs) {
+  auto LocOf = [&](size_t I) {
+    if (Locs && I < Locs->size())
+      return (*Locs)[I];
+    return SourceLoc{static_cast<uint32_t>(I + 1), 0};
   };
-  std::unordered_set<uint32_t> Live;
+  auto At = [](size_t I) { return " at event " + std::to_string(I); };
+
+  /// Everything ever named by a malloc; ids are never erased so a free of
+  /// a freed id and a free of a never-seen id stay distinguishable.
+  struct ObjectState {
+    bool Live = false;
+    size_t BirthIdx = 0;
+    size_t DeathIdx = 0;
+  };
+  std::unordered_map<uint32_t, ObjectState> Objects;
+
   for (size_t I = 0; I != Events.size(); ++I) {
     const AllocEvent &Event = Events[I];
-    std::string At = " at event " + std::to_string(I);
+    std::string IdText = "object id " + std::to_string(Event.Id);
     switch (Event.Kind) {
-    case AllocEventKind::Malloc:
+    case AllocEventKind::Malloc: {
       if (Event.Amount == 0)
-        return Fail("zero-size malloc" + At);
-      if (!Live.insert(Event.Id).second)
-        return Fail("object id " + std::to_string(Event.Id) +
-                    " malloc'd while live" + At);
+        Diags.error("trace-zero-size", LocOf(I),
+                    "zero-size malloc of " + IdText + At(I));
+      auto [It, New] = Objects.try_emplace(Event.Id);
+      if (!New && It->second.Live)
+        Diags.error("trace-double-malloc", LocOf(I),
+                    IdText + " malloc'd while live" + At(I) +
+                        " (live since event " +
+                        std::to_string(It->second.BirthIdx) + ")");
+      // Continue as if the new malloc renamed the object: later frees and
+      // touches resolve against the most recent birth.
+      It->second.Live = true;
+      It->second.BirthIdx = I;
       break;
-    case AllocEventKind::Free:
-      if (Live.erase(Event.Id) == 0)
-        return Fail("free of dead object id " + std::to_string(Event.Id) + At);
+    }
+    case AllocEventKind::Free: {
+      auto It = Objects.find(Event.Id);
+      if (It == Objects.end()) {
+        Diags.error("trace-free-unknown", LocOf(I),
+                    "free of unknown " + IdText + At(I));
+        break;
+      }
+      if (!It->second.Live) {
+        Diags.error("trace-double-free", LocOf(I),
+                    "double free of " + IdText + At(I) +
+                        " (already freed at event " +
+                        std::to_string(It->second.DeathIdx) + ")");
+        break;
+      }
+      It->second.Live = false;
+      It->second.DeathIdx = I;
       break;
-    case AllocEventKind::Touch:
-      if (!Live.count(Event.Id))
-        return Fail("touch of dead object id " + std::to_string(Event.Id) +
-                    At);
+    }
+    case AllocEventKind::Touch: {
+      auto It = Objects.find(Event.Id);
+      if (It == Objects.end()) {
+        Diags.error("trace-touch-unknown", LocOf(I),
+                    "touch of unknown " + IdText + At(I));
+        break;
+      }
+      if (!It->second.Live) {
+        Diags.error("trace-touch-dead", LocOf(I),
+                    "touch of freed " + IdText + At(I) + " (freed at event " +
+                        std::to_string(It->second.DeathIdx) + ")");
+        break;
+      }
+      if (Event.Amount == 0)
+        Diags.warning("trace-empty-touch", LocOf(I),
+                      "touch of zero words of " + IdText + At(I));
       break;
+    }
     case AllocEventKind::StackTouch:
+      if (Event.Amount == 0)
+        Diags.warning("trace-empty-touch", LocOf(I),
+                      "stack touch of zero words" + At(I));
       break;
     }
   }
-  return true;
+
+  // Leaked-at-end objects, reported at their malloc in birth order.
+  std::vector<std::pair<size_t, uint32_t>> Leaked;
+  for (const auto &[Id, State] : Objects)
+    if (State.Live)
+      Leaked.push_back({State.BirthIdx, Id});
+  std::sort(Leaked.begin(), Leaked.end());
+  for (auto [BirthIdx, Id] : Leaked)
+    Diags.warning("trace-leak", LocOf(BirthIdx),
+                  "object id " + std::to_string(Id) +
+                      " still live at end of script (malloc'd at event " +
+                      std::to_string(BirthIdx) + ")");
+}
+
+bool allocsim::validateAllocEvents(const std::vector<AllocEvent> &Events,
+                                   std::string *WhyNot) {
+  DiagEngine Diags;
+  validateAllocEvents(Events, Diags);
+  if (Diags.errorCount() == 0)
+    return true;
+  if (WhyNot)
+    *WhyNot = Diags.firstError();
+  return false;
 }

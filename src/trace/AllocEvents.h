@@ -18,12 +18,23 @@
 ///   t <id> <words> r|w touch <words> 4-byte words of object <id>
 ///   s <words> r|w      touch <words> words of the stack/static segment
 ///
+/// Two parsing/validation surfaces exist on purpose:
+///
+///  * the exhaustive surface (parseAllocEvents + the DiagEngine overload of
+///    validateAllocEvents) reports every syntactic and semantic problem
+///    with line/column and a stable rule id — this is what TraceLint
+///    (src/analyze/) and the allocsim_lint tool build on;
+///  * the fatal/bool wrappers (readAllocEvents, the bool overload) keep the
+///    old contract for replay paths that are only ever handed scripts
+///    already known to be sound.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALLOCSIM_TRACE_ALLOCEVENTS_H
 #define ALLOCSIM_TRACE_ALLOCEVENTS_H
 
 #include "mem/MemAccess.h"
+#include "support/Diag.h"
 
 #include <cstdint>
 #include <iosfwd>
@@ -60,15 +71,54 @@ struct AllocEvent {
   bool operator==(const AllocEvent &Other) const = default;
 };
 
+/// An event plus where its record started in the script text.
+struct LocatedAllocEvent {
+  AllocEvent Event;
+  SourceLoc Loc;
+};
+
 /// Serializes \p Events in the text format.
 void writeAllocEvents(std::ostream &OS, const std::vector<AllocEvent> &Events);
 
-/// Parses an event script. Malformed input is a fatal error.
+/// Exhaustive line-oriented parser: every malformed record is reported into
+/// \p Diags (rule ids trace-unknown-tag, trace-truncated-record,
+/// trace-bad-number, trace-size-overflow, trace-bad-access-mode,
+/// trace-trailing-junk) with the line and column of the offending token,
+/// and parsing continues with the next line. Well-formed records parse into
+/// events carrying their source location. Blank lines are ignored.
+std::vector<LocatedAllocEvent> parseAllocEvents(std::istream &IS,
+                                                DiagEngine &Diags);
+
+/// Parses an event script. Malformed input is a fatal error naming the
+/// first offending line (wrapper over parseAllocEvents for replay paths).
 std::vector<AllocEvent> readAllocEvents(std::istream &IS);
 
-/// Validates script well-formedness: every Free/Touch names a live object,
-/// no double-malloc of an id, no zero-size malloc. Returns true if valid;
-/// if \p WhyNot is non-null an explanation is stored on failure.
+/// Exhaustive semantic validation over the object-lifetime state machine:
+/// reports *every* violation into \p Diags instead of stopping at the
+/// first. Rules:
+///
+///   trace-zero-size     (error)   malloc of 0 bytes
+///   trace-double-malloc (error)   id malloc'd while still live
+///   trace-double-free   (error)   free of an already-freed id
+///   trace-free-unknown  (error)   free of a never-malloc'd id
+///   trace-touch-dead    (error)   touch of a freed id (use after free)
+///   trace-touch-unknown (error)   touch of a never-malloc'd id
+///   trace-empty-touch   (warning) touch/stack-touch of 0 words
+///   trace-leak          (warning) object still live at end of script,
+///                                 reported at its malloc's location
+///
+/// \p Locs, when non-null, must parallel \p Events (as produced by
+/// parseAllocEvents) and supplies the reported locations; otherwise
+/// diagnostics carry the 1-based event ordinal as the line number.
+void validateAllocEvents(const std::vector<AllocEvent> &Events,
+                         DiagEngine &Diags,
+                         const std::vector<SourceLoc> *Locs = nullptr);
+
+/// Validates script well-formedness. Returns true if no *errors* were
+/// found (warnings — leaks, empty touches — do not fail validation, which
+/// matches the replay engines: the Driver runs leaky scripts fine); if
+/// \p WhyNot is non-null the first error is stored on failure. Wrapper
+/// over the exhaustive overload for existing callers.
 bool validateAllocEvents(const std::vector<AllocEvent> &Events,
                          std::string *WhyNot = nullptr);
 

@@ -30,6 +30,7 @@ void Driver::chargeRef() {
 
 void Driver::attachTelemetry(Telemetry *Registry) {
   EventsProbe = Registry ? Registry->counter("driver.events") : nullptr;
+  LifetimeHist = Registry ? Registry->histogram("driver.obj_lifetime") : nullptr;
   OpInstrHists = {};
   if (Registry) {
     OpInstrHists[static_cast<unsigned>(AllocEventKind::Malloc)] =
@@ -44,6 +45,7 @@ void Driver::attachTelemetry(Telemetry *Registry) {
 }
 
 void Driver::execute(const AllocEvent &Event) {
+  ++EventOrdinal;
   if (EventsProbe)
     EventsProbe->add();
   // Times the whole operation (allocator work + emitted touches) on the
@@ -54,7 +56,9 @@ void Driver::execute(const AllocEvent &Event) {
   case AllocEventKind::Malloc: {
     Addr Address = Alloc.malloc(Event.Amount);
     [[maybe_unused]] bool Inserted =
-        Objects.emplace(Event.Id, ObjectInfo{Address, (Event.Amount + 3) / 4})
+        Objects
+            .emplace(Event.Id, ObjectInfo{Address, (Event.Amount + 3) / 4,
+                                          EventOrdinal})
             .second;
     assert(Inserted && "duplicate object id in event stream");
     if (Check) {
@@ -70,6 +74,8 @@ void Driver::execute(const AllocEvent &Event) {
     auto It = Objects.find(Event.Id);
     if (It == Objects.end())
       reportFatalError("event stream frees unknown object");
+    if (LifetimeHist)
+      LifetimeHist->record(EventOrdinal - It->second.BirthOrdinal);
     Alloc.free(It->second.Address);
     Objects.erase(It);
     if (Check) {

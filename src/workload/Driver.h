@@ -64,7 +64,11 @@ public:
   /// per-event-kind PhaseTimer records each operation's instruction cost
   /// (app + alloc, from the simulated clock — deterministic, unlike wall
   /// time) into "driver.malloc_instr" / "driver.free_instr" /
-  /// "driver.touch_instr" / "driver.stack_instr".
+  /// "driver.touch_instr" / "driver.stack_instr", and a
+  /// "driver.obj_lifetime" histogram records, at each free, how many events
+  /// the object lived (free ordinal minus malloc ordinal — the paper's
+  /// object-lifetime distribution on the event clock; leaked objects are
+  /// never recorded, which is exactly what TraceLint predicts statically).
   void attachTelemetry(Telemetry *Registry);
 
 private:
@@ -76,6 +80,8 @@ private:
   struct ObjectInfo {
     Addr Address;
     uint32_t Words;
+    /// Value of EventOrdinal when the object was malloc'd.
+    uint64_t BirthOrdinal;
   };
 
   Allocator &Alloc;
@@ -86,6 +92,9 @@ private:
 
   std::unordered_map<uint32_t, ObjectInfo> Objects;
   uint64_t AppRefs = 0;
+  /// 1-based ordinal of the event being executed (the object-lifetime
+  /// clock).
+  uint64_t EventOrdinal = 0;
 
   /// Optional heap-integrity checker (null when checking is off).
   HeapCheck *Check = nullptr;
@@ -93,6 +102,7 @@ private:
   /// Telemetry probes; null when telemetry is off. OpInstrHists is indexed
   /// by AllocEventKind.
   TelemetryCounter *EventsProbe = nullptr;
+  TelemetryHistogram *LifetimeHist = nullptr;
   std::array<TelemetryHistogram *, 4> OpInstrHists{};
 
   /// Stack zig-zag state.

@@ -113,7 +113,7 @@ TEST(AllocEventsTest, ValidationRejectsDoubleFree) {
   };
   std::string Why;
   EXPECT_FALSE(validateAllocEvents(Events, &Why));
-  EXPECT_NE(Why.find("dead object"), std::string::npos);
+  EXPECT_NE(Why.find("double free"), std::string::npos);
 }
 
 TEST(AllocEventsTest, ValidationRejectsTouchOfDead) {

@@ -1,0 +1,153 @@
+//===- tests/tracelint_crosscheck_test.cpp - Static vs simulated ----------===//
+//
+// The exactness contract behind TraceLint's predictions: for every script
+// in tests/corpus/, every statically predicted quantity must equal the
+// corresponding simulator measurement *bit-exactly* — allocator statistics
+// from the run, counters and full histograms from telemetry — across
+// allocators with very different placement behavior (including QuickFit's
+// nested backend delegation and Custom's profile-synthesized classes).
+//
+// A failure here means the analyzer and the simulator disagree about event
+// semantics; neither side is trusted over the other, which is the point:
+// the static model double-enters the simulator's books.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyze/TraceLint.h"
+#include "core/Lab.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+using namespace allocsim;
+
+namespace {
+
+std::vector<std::filesystem::path> corpusScripts() {
+  std::vector<std::filesystem::path> Paths;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(ALLOCSIM_CORPUS_DIR))
+    if (Entry.path().extension() == ".events")
+      Paths.push_back(Entry.path());
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+void checkScriptAgainstSimulator(const std::filesystem::path &Path,
+                                 AllocatorKind Allocator) {
+  SCOPED_TRACE(Path.filename().string() + " vs " +
+               allocatorKindName(Allocator));
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In) << "cannot read " << Path;
+  DiagEngine Diags;
+  std::vector<LocatedAllocEvent> Located = lintTraceScript(In, Diags);
+  ASSERT_EQ(Diags.errorCount(), 0u)
+      << "corpus script must be sound: " << Diags.firstError();
+
+  TracePredictions P = predictTrace(buildTraceModel(Located));
+
+  std::vector<AllocEvent> Events;
+  Events.reserve(Located.size());
+  for (const LocatedAllocEvent &Event : Located)
+    Events.push_back(Event.Event);
+
+  ExperimentConfig Config;
+  Config.Allocator = Allocator;
+  Config.Telemetry = TelemetryLevel::Full;
+  RunResult R = runScriptExperiment(Config, Events);
+
+  // Allocator usage statistics.
+  EXPECT_EQ(P.MallocCalls, R.Alloc.MallocCalls);
+  EXPECT_EQ(P.FreeCalls, R.Alloc.FreeCalls);
+  EXPECT_EQ(P.BytesRequested, R.Alloc.BytesRequested);
+  EXPECT_EQ(P.MaxLiveBytes, R.Alloc.MaxLiveBytes);
+  EXPECT_EQ(P.FinalLiveBytes, R.Alloc.LiveBytes);
+  EXPECT_EQ(P.MaxLiveObjects, R.Alloc.MaxLiveObjects);
+  EXPECT_EQ(P.FinalLiveObjects, R.Alloc.LiveObjects);
+
+  // Reference volume and event counts.
+  EXPECT_EQ(P.AppRefs, R.AppRefs);
+  EXPECT_EQ(P.Events, R.Telemetry.counterValue("driver.events"));
+  EXPECT_EQ(P.MallocCalls, R.Telemetry.counterValue("alloc.mallocs"));
+  EXPECT_EQ(P.FreeCalls, R.Telemetry.counterValue("alloc.frees"));
+
+  // Distributions, whole-snapshot equality: every bucket, count, sum, min
+  // and max must match.
+  EXPECT_EQ(P.RequestSizes, R.Telemetry.histogram("alloc.request_bytes"));
+  EXPECT_EQ(P.Lifetimes, R.Telemetry.histogram("driver.obj_lifetime"));
+}
+
+} // namespace
+
+TEST(TraceLintCrossCheckTest, CorpusHasScripts) {
+  EXPECT_GE(corpusScripts().size(), 6u);
+}
+
+TEST(TraceLintCrossCheckTest, CorpusLintsClean) {
+  // Corpus scripts seed the fuzzer and the replay tests; they must be
+  // entirely clean — warnings included (no leaks, no empty touches).
+  for (const auto &Path : corpusScripts()) {
+    SCOPED_TRACE(Path.filename().string());
+    std::ifstream In(Path);
+    ASSERT_TRUE(In);
+    DiagEngine Diags;
+    lintTraceScript(In, Diags);
+    EXPECT_TRUE(Diags.clean())
+        << Diags.errorCount() << " errors, " << Diags.warningCount()
+        << " warnings; first: "
+        << (Diags.diags().empty() ? "" : Diags.diags().front().Message);
+  }
+}
+
+TEST(TraceLintCrossCheckTest, PredictionsMatchFirstFit) {
+  for (const auto &Path : corpusScripts())
+    checkScriptAgainstSimulator(Path, AllocatorKind::FirstFit);
+}
+
+TEST(TraceLintCrossCheckTest, PredictionsMatchQuickFit) {
+  // QuickFit forwards large requests to a nested GnuG++ backend whose own
+  // probes live under "alloc.general.*"; the top-level request_bytes
+  // histogram must still record every script malloc exactly once.
+  for (const auto &Path : corpusScripts())
+    checkScriptAgainstSimulator(Path, AllocatorKind::QuickFit);
+}
+
+TEST(TraceLintCrossCheckTest, PredictionsMatchBsd) {
+  for (const auto &Path : corpusScripts())
+    checkScriptAgainstSimulator(Path, AllocatorKind::Bsd);
+}
+
+TEST(TraceLintCrossCheckTest, PredictionsMatchCustom) {
+  // Custom synthesizes its size classes from the script's own request
+  // profile — the runScriptExperiment path TraceLint cross-checks must
+  // drive that synthesis from the same malloc sizes the analyzer saw.
+  for (const auto &Path : corpusScripts())
+    checkScriptAgainstSimulator(Path, AllocatorKind::Custom);
+}
+
+TEST(TraceLintCrossCheckTest, PredictionsSeeThroughCaches) {
+  // Attaching observers (caches) must not perturb any predicted quantity.
+  std::vector<std::filesystem::path> Paths = corpusScripts();
+  ASSERT_FALSE(Paths.empty());
+  std::ifstream In(Paths.front());
+  DiagEngine Diags;
+  std::vector<LocatedAllocEvent> Located = lintTraceScript(In, Diags);
+  ASSERT_EQ(Diags.errorCount(), 0u);
+  TracePredictions P = predictTrace(buildTraceModel(Located));
+
+  std::vector<AllocEvent> Events;
+  for (const LocatedAllocEvent &Event : Located)
+    Events.push_back(Event.Event);
+  ExperimentConfig Config;
+  Config.Allocator = AllocatorKind::GnuGxx;
+  Config.Telemetry = TelemetryLevel::Full;
+  Config.Caches = {CacheConfig{16 * 1024, 32, 1}};
+  RunResult R = runScriptExperiment(Config, Events);
+  EXPECT_EQ(P.AppRefs, R.AppRefs);
+  EXPECT_EQ(P.MaxLiveBytes, R.Alloc.MaxLiveBytes);
+  EXPECT_EQ(P.RequestSizes, R.Telemetry.histogram("alloc.request_bytes"));
+}

@@ -18,10 +18,16 @@
 // specs (empty items, trailing commas, non-numeric fields) are rejected
 // with a diagnostic and a nonzero exit, never silently dropped.
 //
+// --lint / --lint-json check the --matrix spec exhaustively (every problem
+// reported, not just the first) and exit without running anything: 0 when
+// the spec is clean, 1 when findings were reported, 2 on bad usage.
+//
 // Exit status: 0 on success, 1 if any matrix cell failed, 2 on bad usage.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analyze/LintReport.h"
+#include "analyze/SpecLint.h"
 #include "core/MatrixRunner.h"
 #include "support/CommandLine.h"
 #include "support/SpecParse.h"
@@ -110,8 +116,29 @@ int main(int Argc, char **Argv) {
               "write long-form telemetry (one row per cell x instrument) "
               "as CSV to this path");
   Cli.addFlag("csv", "false", "emit the summary table as CSV");
+  Cli.addFlag("lint", "false",
+              "lint the --matrix spec exhaustively and exit without "
+              "running (0 clean, 1 findings, 2 usage error)");
+  Cli.addFlag("lint-json", "false",
+              "like --lint, but emit the allocsim-lint-v1 JSON report");
   if (!Cli.parse(Argc, Argv))
     return 2;
+
+  if (Cli.getBool("lint") || Cli.getBool("lint-json")) {
+    if (Cli.getString("matrix").empty())
+      return usageError("--lint needs a --matrix spec to check");
+    LintInput Input;
+    Input.Name = "--matrix";
+    Input.Kind = "matrix-spec";
+    lintMatrixSpec(Cli.getString("matrix"), Input.Diags);
+    std::vector<LintInput> Inputs;
+    Inputs.push_back(std::move(Input));
+    if (Cli.getBool("lint-json"))
+      writeLintReportJson(std::cout, Inputs);
+    else
+      printLintReport(std::cout, Inputs);
+    return summarizeLint(Inputs).clean() ? 0 : 1;
+  }
 
   std::string Error;
   MatrixSpec Spec;
