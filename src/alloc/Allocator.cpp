@@ -96,6 +96,15 @@ Addr Allocator::malloc(uint32_t Size) {
   if (SearchLenHist)
     SearchLenHist->record(blocksSearched() - SearchedBefore);
 
+  if (Ptr == 0) {
+    // Propagated OOM (a growth path's trySbrk was denied): the request
+    // changes no live state and the caller gets the classic null return.
+    // The allocators fail before mutating, so the heap structures the
+    // invariant walkers see are exactly the pre-call ones.
+    ++Stats.FailedMallocs;
+    return 0;
+  }
+
   assert((Ptr & 3) == 0 && "allocator returned misaligned object");
   assert(Heap.contains(Ptr, Size) && "allocator returned bad region");
   [[maybe_unused]] bool Inserted = LiveObjects.emplace(Ptr, Size).second;

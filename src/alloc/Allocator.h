@@ -75,6 +75,11 @@ struct AllocatorStats {
   /// both from a script without simulating, and the cross-check test holds
   /// the simulator to the prediction bit-exactly.
   uint64_t MaxLiveObjects = 0;
+  /// Calls that returned null because the heap capacity was exhausted
+  /// (FaultLab `oom:after=` plans or an explicit SimHeap soft limit).
+  /// Counted within MallocCalls; BytesRequested includes the failed
+  /// request, the live counters do not.
+  uint64_t FailedMallocs = 0;
 };
 
 /// Abstract allocator over a simulated heap.
@@ -87,7 +92,10 @@ public:
   Allocator &operator=(const Allocator &) = delete;
 
   /// Allocates \p Size bytes (Size > 0); returns the simulated address of
-  /// the object. The address is 4-byte aligned.
+  /// the object. The address is 4-byte aligned. Returns 0 — the classic
+  /// null — when heap capacity is exhausted (a SimHeap soft limit denied
+  /// the growth sbrk); a failed call leaves every heap structure and live
+  /// counter untouched.
   Addr malloc(uint32_t Size);
 
   /// Releases an object previously returned by malloc. Passing any other

@@ -44,7 +44,8 @@ Addr Bsd::doMalloc(uint32_t Size) {
 
   Addr Head = load(freelistSlot(Bucket));
   if (Head == 0) {
-    moreCore(Bucket);
+    if (!moreCore(Bucket))
+      return 0; // OOM: the empty freelist head is still empty.
     Head = load(freelistSlot(Bucket));
     assert(Head != 0 && "morecore produced no blocks");
   }
@@ -55,15 +56,17 @@ Addr Bsd::doMalloc(uint32_t Size) {
   return Head + 4;
 }
 
-void Bsd::moreCore(unsigned Bucket) {
+bool Bsd::moreCore(unsigned Bucket) {
   uint32_t BlockBytes = bucketBytes(Bucket);
   uint32_t Amount = BlockBytes < 4096 ? 4096 : BlockBytes;
   charge(24); // sbrk overhead.
+  Addr Region = 0;
+  if (!Heap.trySbrk(Amount, Region))
+    return false;
   if (RefillsProbe) {
     RefillsProbe->add();
     RefillBytesProbe->add(Amount);
   }
-  Addr Region = Heap.sbrk(Amount);
 
   // Chain every carved block onto the (empty) freelist.
   uint32_t Count = Amount / BlockBytes;
@@ -71,6 +74,7 @@ void Bsd::moreCore(unsigned Bucket) {
     store(Region + I * BlockBytes, Region + (I + 1) * BlockBytes);
   store(Region + (Count - 1) * BlockBytes, 0);
   store(freelistSlot(Bucket), Region);
+  return true;
 }
 
 void Bsd::doFree(Addr Ptr) {

@@ -54,7 +54,8 @@ private:
 
   /// Refills bucket \p Bucket from sbrk, carving a page (or one block, if
   /// larger) into a freelist chain, exactly as Kingsley's morecore does.
-  void moreCore(unsigned Bucket);
+  /// Returns false — leaving the bucket untouched — on heap exhaustion.
+  bool moreCore(unsigned Bucket);
 
   void onShadowAttached() override { noteMetadata(NextF, 4 * NumBuckets); }
 

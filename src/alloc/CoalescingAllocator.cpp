@@ -81,7 +81,8 @@ Addr CoalescingAllocator::doMalloc(uint32_t Size) {
 
   auto [Block, BlockSize] = findFit(Need);
   if (Block == 0) {
-    expandHeap(Need);
+    if (!expandHeap(Need))
+      return 0; // OOM: nothing was carved, the free structure is untouched.
     std::tie(Block, BlockSize) = findFit(Need);
     assert(Block != 0 && "expansion did not produce a fitting block");
   }
@@ -146,16 +147,18 @@ void CoalescingAllocator::doFree(Addr Ptr) {
   insertFree(Block, Size);
 }
 
-void CoalescingAllocator::expandHeap(uint32_t Need) {
+bool CoalescingAllocator::expandHeap(uint32_t Need) {
   // Guard words cost 8 bytes per region.
   uint32_t Chunk = Need + 8;
   Chunk = (Chunk + ExpandChunkBytes - 1) & ~(ExpandChunkBytes - 1);
   charge(24); // sbrk call overhead.
+  Addr Region = 0;
+  if (!Heap.trySbrk(Chunk, Region))
+    return false;
   if (ExpandsProbe) {
     ExpandsProbe->add();
     ExpandBytesProbe->add(Chunk);
   }
-  Addr Region = Heap.sbrk(Chunk);
 
   // Start guard acts as an allocated footer for the first block; end guard
   // as an allocated header after the last block.
@@ -166,4 +169,5 @@ void CoalescingAllocator::expandHeap(uint32_t Need) {
   uint32_t Size = Chunk - 8;
   writeTags(Block, Size, /*Allocated=*/false);
   insertFree(Block, Size);
+  return true;
 }

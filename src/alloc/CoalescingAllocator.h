@@ -122,8 +122,9 @@ private:
   Addr allocateFrom(Addr Block, uint32_t BlockSize, uint32_t Need);
 
   /// Obtains a new fencepost-guarded region of at least \p Need usable
-  /// bytes from sbrk and inserts it as one free block.
-  void expandHeap(uint32_t Need);
+  /// bytes from sbrk and inserts it as one free block. Returns false —
+  /// with no state changed — when the heap capacity is exhausted.
+  bool expandHeap(uint32_t Need);
 
   /// Host-side record of the sentinels created by makeSentinel, for shadow
   /// annotation.

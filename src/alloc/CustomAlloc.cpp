@@ -53,10 +53,13 @@ Addr CustomAlloc::carve(uint32_t ClassIndex) {
   uint32_t BlockBytes = Map.classSize(ClassIndex) + 4;
   if (TailPtr + BlockBytes > TailEnd) {
     charge(24);
+    uint32_t Chunk = BlockBytes > 4096 ? (BlockBytes + 4095) & ~4095u : 4096;
+    Addr NewTail = 0;
+    if (!Heap.trySbrk(Chunk, NewTail))
+      return 0; // OOM: the exhausted tail region stays as it was.
     if (RefillsProbe)
       RefillsProbe->add();
-    uint32_t Chunk = BlockBytes > 4096 ? (BlockBytes + 4095) & ~4095u : 4096;
-    TailPtr = Heap.sbrk(Chunk);
+    TailPtr = NewTail;
     TailEnd = TailPtr + Chunk;
   }
   charge(4);

@@ -24,7 +24,10 @@ GnuLocal::GnuLocal(SimHeap &AllocHeap, CostModel &AllocCost,
 
   // Initial descriptor table, then mark every block the static area and the
   // table occupy as busy so the run allocator never hands them out.
-  growTable(64);
+  // Construction happens before any FaultLab soft limit is applied, so the
+  // initial table always fits.
+  [[maybe_unused]] bool Grew = growTable(64);
+  assert(Grew && "initial descriptor table did not fit the heap");
   uint32_t UsedBlocks = blockIndexOf(Heap.brk() - 1) + 1;
   markBusyRun(0, UsedBlocks);
 }
@@ -33,20 +36,22 @@ GnuLocal::GnuLocal(SimHeap &AllocHeap, CostModel &AllocCost,
 // Descriptor table management
 //===----------------------------------------------------------------------===//
 
-void GnuLocal::growTable(uint32_t MinBlocks) {
+bool GnuLocal::growTable(uint32_t MinBlocks) {
   uint32_t NewCapacity = TableCapacity * 2;
   if (NewCapacity < MinBlocks + 64)
     NewCapacity = MinBlocks + 64;
 
   charge(32); // realloc bookkeeping.
-  if (TableGrowsProbe)
-    TableGrowsProbe->add();
   bool Initial = TableAddr == 0;
   // Blocks with meaningful descriptors: everything up to the break as it
   // stands *before* the new table is carved.
   uint32_t Live = Initial ? 0 : blockIndexOf(Heap.brk() - 1) + 1;
   assert(Live <= TableCapacity && "descriptor table fell behind the heap");
-  Addr NewTable = Heap.sbrk(16 * NewCapacity);
+  Addr NewTable = 0;
+  if (!Heap.trySbrk(16 * NewCapacity, NewTable))
+    return false;
+  if (TableGrowsProbe)
+    TableGrowsProbe->add();
 
   if (!Initial) {
     // Copy live descriptors (all blocks up to the old break, including the
@@ -73,6 +78,7 @@ void GnuLocal::growTable(uint32_t MinBlocks) {
     uint32_t Last = blockIndexOf(Heap.brk() - 1);
     markBusyRun(First, Last - First + 1);
   }
+  return true;
 }
 
 void GnuLocal::markBusyRun(uint32_t Index, uint32_t Count) {
@@ -93,12 +99,16 @@ uint32_t GnuLocal::morecoreBlocks(uint32_t Count) {
 
     if (FirstNew + Count > TableCapacity) {
       // Growing the table moves the break; retry the alignment math.
-      growTable(FirstNew + Count);
+      if (!growTable(FirstNew + Count))
+        return NoBlock;
       continue;
     }
 
     charge(24); // sbrk overhead.
-    Addr Region = Heap.sbrk(Pad + Count * BlockBytes) + Pad;
+    Addr Region = 0;
+    if (!Heap.trySbrk(Pad + Count * BlockBytes, Region))
+      return NoBlock;
+    Region += Pad;
     assert(blockIndexOf(Region) == FirstNew && "block alignment drifted");
     assert((Region & (BlockBytes - 1)) == 0 && "unaligned block region");
     return FirstNew;
@@ -154,6 +164,8 @@ uint32_t GnuLocal::allocateBlocks(uint32_t Count) {
   if (RunSearchHist)
     RunSearchHist->record(RunsExamined);
   uint32_t Index = morecoreBlocks(Count);
+  if (Index == NoBlock)
+    return NoBlock; // OOM: the searched run list is unchanged.
   markBusyRun(Index, Count);
   return Index;
 }
@@ -241,6 +253,8 @@ Addr GnuLocal::mallocFragment(unsigned FragLog) {
   // No free fragment: split a fresh block into fragments of this class and
   // link all but the first onto the class list.
   uint32_t Index = allocateBlocks(1);
+  if (Index == NoBlock)
+    return 0; // OOM: the class list is still empty.
   Addr Block = blockAddr(Index);
   uint32_t FragBytes = 1u << FragLog;
   uint32_t PerBlock = BlockBytes >> FragLog;
@@ -322,7 +336,10 @@ Addr GnuLocal::mallocInner(uint32_t Size) {
   charge(6);
   if (BlockMallocsProbe)
     BlockMallocsProbe->add();
-  return blockAddr(allocateBlocks(Count));
+  uint32_t Index = allocateBlocks(Count);
+  if (Index == NoBlock)
+    return 0; // OOM propagated to the caller.
+  return blockAddr(Index);
 }
 
 void GnuLocal::freeInner(Addr Ptr) {
@@ -348,6 +365,8 @@ Addr GnuLocal::doMalloc(uint32_t Size) {
   // tags and touch them the way real tags are touched on allocation.
   uint32_t Rounded = (Size + 3) & ~3u;
   Addr Base = mallocInner(Rounded + 8);
+  if (Base == 0)
+    return 0; // OOM: no tag words were written.
   charge(4);
   Heap.store32(Base, Size, AccessSource::TagEmulation);
   Heap.store32(Base + 4 + Rounded, Size | 1, AccessSource::TagEmulation);

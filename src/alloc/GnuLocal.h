@@ -88,16 +88,23 @@ private:
   Addr mallocFragment(unsigned FragLog);
   void freeFragment(Addr Ptr, Addr BlockAddr, Addr Desc);
 
-  /// Whole-block paths. Indices are heap-relative block numbers.
+  /// Failure sentinel of the block-index paths (block 0 is always the
+  /// static area, so valid results start at 1).
+  static constexpr uint32_t NoBlock = UINT32_MAX;
+
+  /// Whole-block paths. Indices are heap-relative block numbers; the
+  /// allocating paths return NoBlock — with the run list and descriptor
+  /// table unchanged — on heap exhaustion.
   uint32_t allocateBlocks(uint32_t Count);
   void freeBlocks(uint32_t Index, uint32_t Count);
   void markBusyRun(uint32_t Index, uint32_t Count);
 
   /// Grows (or initially creates) the descriptor table to cover at least
-  /// \p MinBlocks blocks, copying live descriptors.
-  void growTable(uint32_t MinBlocks);
+  /// \p MinBlocks blocks, copying live descriptors. Returns false — with
+  /// the old table intact — on heap exhaustion.
+  bool growTable(uint32_t MinBlocks);
 
-  /// Obtains \p Count fresh aligned blocks from sbrk.
+  /// Obtains \p Count fresh aligned blocks from sbrk (NoBlock on OOM).
   uint32_t morecoreBlocks(uint32_t Count);
 
   void onShadowAttached() override {

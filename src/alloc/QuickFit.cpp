@@ -46,9 +46,12 @@ Addr QuickFit::carveFast(unsigned ClassIndex) {
     // A fresh tail region; the (sub-block-size) remainder of the old tail
     // is abandoned, as in the original working-region scheme.
     charge(24);
+    Addr NewTail = 0;
+    if (!Heap.trySbrk(4096, NewTail))
+      return 0; // OOM: the exhausted tail region stays as it was.
     if (RefillsProbe)
       RefillsProbe->add();
-    TailPtr = Heap.sbrk(4096);
+    TailPtr = NewTail;
     TailEnd = TailPtr + 4096;
   }
   charge(4);

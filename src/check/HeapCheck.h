@@ -88,6 +88,7 @@ public:
   void finalCheck();
 
   ShadowHeap &shadow() { return Shadow; }
+  const CheckPolicy &policy() const { return Policy; }
   uint64_t violationCount() const { return Log.count(); }
   const std::vector<CheckViolation> &violations() const {
     return Log.violations();

@@ -4,6 +4,7 @@
 
 #include "alloc/CustomAlloc.h"
 #include "alloc/GnuLocal.h"
+#include "inject/FaultInjector.h"
 #include "vm/PageSim.h"
 #include "workload/Driver.h"
 
@@ -46,7 +47,8 @@ buildAllocator(const ExperimentConfig &Config, SimHeap &Heap, CostModel &Cost,
 /// identical by construction.
 RunResult runWithDriver(const ExperimentConfig &Config, double InstrPerRef,
                         const std::function<Histogram()> &SizeProfile,
-                        const std::function<void(Driver &)> &Feed) {
+                        const std::function<void(Driver &)> &Feed,
+                        TelemetrySnapshot *PartialOnError = nullptr) {
   // One registry per run: no locks, no sharing. Null when telemetry is off,
   // which leaves every probe pointer below null as well.
   std::unique_ptr<Telemetry> Telem;
@@ -84,14 +86,48 @@ RunResult runWithDriver(const ExperimentConfig &Config, double InstrPerRef,
 
   std::unique_ptr<HeapCheck> Check;
   if (Config.Check.Level != CheckLevel::Off) {
-    Check = std::make_unique<HeapCheck>(Config.Check, Heap, Bus);
+    // Under a corruption plan injected damage must be recorded, not fatal:
+    // the detector-efficacy contract is "the checker reports it", and an
+    // abort would also kill the graceful-degradation path.
+    CheckPolicy CheckPol = Config.Check;
+    if (Config.Inject.corruptionEnabled())
+      CheckPol.AbortOnViolation = false;
+    Check = std::make_unique<HeapCheck>(CheckPol, Heap, Bus);
     Check->attachAllocator(*Alloc);
   }
 
+  // The injector interposes after the checker so its observer tee forwards
+  // allocator state notes to the real shadow (when one exists) while its
+  // private shadow stays current at every check level.
+  std::unique_ptr<FaultInjector> Inj;
+  if (Config.Inject.corruptionEnabled()) {
+    Inj = std::make_unique<FaultInjector>(Config.Inject, Heap);
+    Inj->attachAllocator(*Alloc, Check ? &Check->shadow() : nullptr);
+  }
+
+  // The soft capacity limit starts counting after the allocator's static
+  // area: "oom:after=N" means N heap bytes of growth room from here on.
+  if (Config.Inject.oomEnabled())
+    Heap.setSoftLimit(static_cast<uint64_t>(Heap.heapBytes()) +
+                      Config.Inject.OomAfterBytes);
+
   Driver Drive(*Alloc, Bus, Cost, InstrPerRef);
   Drive.setHeapCheck(Check.get());
+  Drive.setFaultInjector(Inj.get());
   Drive.attachTelemetry(Telem.get());
-  Feed(Drive);
+  if (PartialOnError) {
+    try {
+      Feed(Drive);
+    } catch (...) {
+      // Quarantine support: hand the caller whatever telemetry the run
+      // accumulated before dying, then let the failure propagate.
+      if (Telem)
+        *PartialOnError = Telem->snapshot();
+      throw;
+    }
+  } else {
+    Feed(Drive);
+  }
   // End-of-run flush point: every sink has consumed the complete stream
   // before statistics are read or the final invariant walk runs.
   Bus.flush();
@@ -133,6 +169,34 @@ RunResult runWithDriver(const ExperimentConfig &Config, double InstrPerRef,
       Result.CheckReports.push_back(V.message());
   }
 
+  if (Config.Inject.enabled()) {
+    Result.SbrkDenied = Heap.sbrkDenied();
+    Result.DroppedEvents = Drive.droppedEvents();
+    if (Inj) {
+      Result.Faults = Inj->records();
+      Result.FaultsInjected = Inj->injectedTotal();
+      Result.FaultsDetected = Inj->detectedTotal();
+    }
+    // fault.* probes exist only under a plan, so plan-free telemetry
+    // snapshots stay byte-identical to builds without FaultLab.
+    if (Telem) {
+      Telem->counter("fault.oom.sbrk_denied")->add(Heap.sbrkDenied());
+      Telem->counter("fault.oom.failed_mallocs")
+          ->add(Alloc->stats().FailedMallocs);
+      Telem->counter("fault.oom.dropped_events")->add(Drive.droppedEvents());
+      if (Inj)
+        for (FaultKind Kind : {FaultKind::Flip, FaultKind::Smash}) {
+          std::string Name = faultKindName(Kind);
+          uint64_t Injected = Inj->injected(Kind);
+          uint64_t Detected = Inj->detected(Kind);
+          Telem->counter("fault.injected." + Name)->add(Injected);
+          Telem->counter("fault.detected." + Name)->add(Detected);
+          Telem->counter("fault.undetected." + Name)
+              ->add(Injected - Detected);
+        }
+    }
+  }
+
   if (Telem) {
     if (Paging)
       Paging->flushRunTelemetry();
@@ -158,6 +222,11 @@ RunResult runWithDriver(const ExperimentConfig &Config, double InstrPerRef,
 } // namespace
 
 RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
+  return runExperiment(Config, nullptr);
+}
+
+RunResult allocsim::runExperiment(const ExperimentConfig &Config,
+                                  TelemetrySnapshot *PartialOnError) {
   const AppProfile &Profile = getProfile(Config.Workload);
   WorkloadEngine Engine(Profile, Config.Engine);
   return runWithDriver(
@@ -165,7 +234,8 @@ RunResult allocsim::runExperiment(const ExperimentConfig &Config) {
       [&Engine] { return Engine.sizeProfile(); },
       [&Engine](Driver &Drive) {
         Engine.generate([&](const AllocEvent &Event) { Drive.execute(Event); });
-      });
+      },
+      PartialOnError);
 }
 
 RunResult

@@ -32,6 +32,7 @@
 #include "alloc/SizeClassMap.h"
 #include "cache/CacheSim.h"
 #include "check/HeapCheck.h"
+#include "inject/FaultPlan.h"
 #include "metrics/CostModel.h"
 #include "stats/Telemetry.h"
 #include "workload/Engine.h"
@@ -81,6 +82,13 @@ struct ExperimentConfig {
   /// untraced accessors only, so enabling it leaves every measurement
   /// bit-identical).
   CheckPolicy Check;
+
+  /// FaultLab fault-injection plan (inactive by default — see
+  /// inject/FaultPlan.h for the spec grammar). With a corruption plan the
+  /// check policy's AbortOnViolation is forced off so injected damage is
+  /// recorded rather than fatal; with an OOM plan the heap gets a soft
+  /// capacity limit and the driver degrades gracefully on failed mallocs.
+  FaultPlan Inject;
 
   /// Telemetry probe level. Off (the default) leaves every probe pointer
   /// null — nothing on any measurement path reads or writes telemetry
@@ -157,6 +165,17 @@ struct RunResult {
   uint64_t CheckWalks = 0;
   std::vector<std::string> CheckReports;
 
+  /// FaultLab results (all zero/empty unless ExperimentConfig::Inject is
+  /// enabled). Faults lists every injected corruption site in event order;
+  /// the sites are bit-identical across job counts and check levels, only
+  /// each record's Detected flag depends on the check level.
+  uint64_t FaultsInjected = 0;
+  uint64_t FaultsDetected = 0;
+  std::vector<FaultRecord> Faults;
+  /// Soft-limit sbrk denials and stream events dropped on failed objects.
+  uint64_t SbrkDenied = 0;
+  uint64_t DroppedEvents = 0;
+
   /// Estimated execution seconds on the paper's 25 MHz test vehicle using
   /// cache \p CacheIndex.
   double estimatedSeconds(size_t CacheIndex) const {
@@ -166,6 +185,13 @@ struct RunResult {
 
 /// Runs one experiment.
 RunResult runExperiment(const ExperimentConfig &Config);
+
+/// Like runExperiment, but if the run throws mid-stream and \p
+/// PartialOnError is non-null, the telemetry accumulated up to the failure
+/// point is snapshotted into it before the exception propagates (the
+/// MatrixRunner's quarantine records are built from this).
+RunResult runExperiment(const ExperimentConfig &Config,
+                        TelemetrySnapshot *PartialOnError);
 
 /// Runs one experiment whose event stream is \p Events (a parsed allocation
 /// script) instead of a synthesized workload. The rig — caches, paging,

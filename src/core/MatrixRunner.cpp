@@ -63,6 +63,15 @@ std::vector<MatrixCell> allocsim::expandMatrix(const MatrixSpec &Spec) {
         Cell.Config.Caches = Spec.Caches;
         Cell.Config.PagingMemoryKb = Spec.PagingMemoryKb;
         Cell.Config.Engine.Seed = cellSeed(Spec, W);
+        if (Spec.Base.Inject.enabled()) {
+          // Per-cell fault seed, fixed at expansion from the linear index:
+          // fault sites are decorrelated across cells yet bit-identical at
+          // any job count, like the workload seeds above.
+          SplitMix64 Mix(Spec.Base.Inject.Seed +
+                         0x9e3779b97f4a7c15ULL *
+                             static_cast<uint64_t>(Cell.Coord.Index));
+          Cell.Config.Inject.Seed = Mix.next();
+        }
         Cells.push_back(std::move(Cell));
       }
   return Cells;
@@ -177,6 +186,44 @@ void writeMatrixJson(std::ostream &OS, const MatrixSpec &Spec,
      << ", \"salt_seed_per_workload\": "
      << (Spec.SaltSeedPerWorkload ? "true" : "false") << "},\n";
 
+  // The faults section (plan echo, totals, quarantine) exists only under a
+  // fault plan: plan-free output stays byte-identical to pre-FaultLab runs.
+  if (Spec.Base.Inject.enabled()) {
+    const FaultPlan &Plan = Spec.Base.Inject;
+    uint64_t Injected = 0, Detected = 0, SbrkDenied = 0, Dropped = 0;
+    for (const CellOutcome &Cell : Cells)
+      if (Cell.Ok) {
+        Injected += Cell.Result.FaultsInjected;
+        Detected += Cell.Result.FaultsDetected;
+        SbrkDenied += Cell.Result.SbrkDenied;
+        Dropped += Cell.Result.DroppedEvents;
+      }
+    OS << "  \"faults\": {\n";
+    OS << "    \"plan\": \"" << jsonEscape(Plan.Spec) << "\",\n";
+    OS << "    \"seed\": " << Plan.Seed
+       << ", \"retry_limit\": " << Plan.RetryLimit << ",\n";
+    OS << "    \"injected\": " << Injected << ", \"detected\": " << Detected
+       << ", \"sbrk_denied\": " << SbrkDenied
+       << ", \"dropped_events\": " << Dropped << ",\n";
+    OS << "    \"quarantine\": [";
+    bool First = true;
+    for (const CellOutcome &Cell : Cells) {
+      if (Cell.Ok)
+        continue;
+      OS << (First ? "\n" : ",\n") << "      {\"workload\": \""
+         << workloadName(Cell.Workload) << "\", \"allocator\": \""
+         << allocatorKindName(Cell.Allocator)
+         << "\", \"penalty_cycles\": " << Cell.PenaltyCycles
+         << ", \"attempts\": " << Cell.Attempts << ", \"errors\": [";
+      for (size_t E = 0; E != Cell.AttemptErrors.size(); ++E)
+        OS << (E ? ", " : "") << '"' << jsonEscape(Cell.AttemptErrors[E])
+           << '"';
+      OS << "]}";
+      First = false;
+    }
+    OS << (First ? "" : "\n    ") << "]\n  },\n";
+  }
+
   OS << "  \"cells\": [";
   for (size_t I = 0; I != Cells.size(); ++I) {
     const CellOutcome &Cell = Cells[I];
@@ -205,6 +252,22 @@ void writeMatrixJson(std::ostream &OS, const MatrixSpec &Spec,
        << ", \"blocks_searched\": " << R.BlocksSearched
        << ", \"distinct_pages\": " << R.DistinctPages
        << ", \"check_violations\": " << R.CheckViolations;
+
+    if (Spec.Base.Inject.enabled()) {
+      OS << ",\n     \"attempts\": " << Cell.Attempts
+         << ", \"faults_injected\": " << R.FaultsInjected
+         << ", \"faults_detected\": " << R.FaultsDetected
+         << ", \"sbrk_denied\": " << R.SbrkDenied
+         << ", \"dropped_events\": " << R.DroppedEvents
+         << ",\n     \"fault_sites\": [";
+      for (size_t F = 0; F != R.Faults.size(); ++F)
+        OS << (F ? ", " : "") << "{\"kind\": \""
+           << faultKindName(R.Faults[F].Kind)
+           << "\", \"op\": " << R.Faults[F].OpIndex
+           << ", \"addr\": " << R.Faults[F].Address << ", \"detected\": "
+           << (R.Faults[F].Detected ? "true" : "false") << "}";
+      OS << "]";
+    }
 
     OS << ",\n     \"caches\": [";
     for (size_t C = 0; C != R.Caches.size(); ++C) {
@@ -247,12 +310,18 @@ void ResultStore::writeGoldenJson(std::ostream &OS) const {
 }
 
 void ResultStore::writeCsv(std::ostream &OS) const {
+  // Fault columns appear only under a fault plan, keeping plan-free CSV
+  // byte-identical to pre-FaultLab output.
+  bool WithFaults = Spec.Base.Inject.enabled();
   OS << "workload,allocator,penalty_cycles,ok,error,seed,"
         "app_instructions,alloc_instructions,total_refs,app_refs,"
         "alloc_refs,tag_refs,malloc_calls,free_calls,heap_bytes,"
-        "blocks_searched,distinct_pages,"
-        "cache_kb,cache_block_bytes,cache_assoc,cache_accesses,"
-        "cache_misses,cache_miss_rate,est_seconds\n";
+        "blocks_searched,distinct_pages,";
+  if (WithFaults)
+    OS << "attempts,faults_injected,faults_detected,sbrk_denied,"
+          "dropped_events,";
+  OS << "cache_kb,cache_block_bytes,cache_assoc,cache_accesses,"
+     << "cache_misses,cache_miss_rate,est_seconds\n";
   for (const CellOutcome &Cell : Cells) {
     std::string Prefix;
     {
@@ -276,6 +345,12 @@ void ResultStore::writeCsv(std::ostream &OS) const {
                std::to_string(R.HeapBytes) + "," +
                std::to_string(R.BlocksSearched) + "," +
                std::to_string(R.DistinctPages);
+      if (WithFaults)
+        Prefix += "," + std::to_string(Cell.Attempts) + "," +
+                  std::to_string(R.FaultsInjected) + "," +
+                  std::to_string(R.FaultsDetected) + "," +
+                  std::to_string(R.SbrkDenied) + "," +
+                  std::to_string(R.DroppedEvents);
     }
     if (!Cell.Ok || Cell.Result.Caches.empty()) {
       OS << Prefix << ",,,,,,,\n";
@@ -312,7 +387,10 @@ void ResultStore::writeTelemetryJson(std::ostream &OS) const {
     OS << "\"penalty_cycles\": " << Cell.PenaltyCycles << ", ";
     OS << "\"ok\": " << (Cell.Ok ? "true" : "false") << ",\n";
     OS << "     \"telemetry\":\n";
-    Cell.Result.Telemetry.writeJson(OS, "      ");
+    // Failed cells serialize whatever partial telemetry their last attempt
+    // flushed before dying, instead of silently dropping it.
+    (Cell.Ok ? Cell.Result.Telemetry : Cell.PartialTelemetry)
+        .writeJson(OS, "      ");
     OS << "}";
   }
   OS << "\n  ],\n";
@@ -351,9 +429,7 @@ void ResultStore::writeTelemetryCsv(std::ostream &OS) const {
 
 namespace {
 
-CellOutcome
-runCell(const MatrixCell &Cell,
-        const std::function<RunResult(const ExperimentConfig &)> &Runner) {
+CellOutcome runCell(const MatrixCell &Cell, const MatrixOptions &Options) {
   CellOutcome Outcome;
   Outcome.Coord = Cell.Coord;
   Outcome.Workload = Cell.Config.Workload;
@@ -366,15 +442,42 @@ runCell(const MatrixCell &Cell,
     Outcome.Error = Invalid;
     return Outcome;
   }
-  try {
-    Outcome.Result = Runner ? Runner(Cell.Config)
-                            : runExperiment(Cell.Config);
-    Outcome.Ok = true;
-  } catch (const std::exception &E) {
-    Outcome.Error = E.what();
-  } catch (...) {
-    Outcome.Error = "unknown exception";
+
+  // Graceful degradation: under a fault plan each cell gets RetryLimit
+  // extra attempts. The worker-fault dice are seeded from the cell's own
+  // fault seed (fixed at expansion), so which attempts die — and therefore
+  // every retry outcome — is identical at any job count.
+  const FaultPlan &Plan = Cell.Config.Inject;
+  unsigned MaxAttempts = 1 + (Plan.enabled() ? Plan.RetryLimit : 0);
+  Rng WorkerDice(Plan.Seed ^ 0x77666175u /* "wfau" */);
+  for (unsigned Attempt = 1; Attempt <= MaxAttempts; ++Attempt) {
+    Outcome.Attempts = Attempt;
+    if (Plan.enabled() && Plan.CellRate > 0 &&
+        WorkerDice.nextDouble() < Plan.CellRate) {
+      // Simulated worker fault: the attempt dies before the run starts.
+      Outcome.AttemptErrors.push_back("injected worker fault (attempt " +
+                                      std::to_string(Attempt) + ")");
+      continue;
+    }
+    TelemetrySnapshot Partial;
+    try {
+      Outcome.Result = Options.CellRunnerEx
+                           ? Options.CellRunnerEx(Cell.Config, Partial)
+                       : Options.CellRunner
+                           ? Options.CellRunner(Cell.Config)
+                           : runExperiment(Cell.Config, &Partial);
+      Outcome.Ok = true;
+      return Outcome;
+    } catch (const std::exception &E) {
+      Outcome.AttemptErrors.push_back(E.what());
+    } catch (...) {
+      Outcome.AttemptErrors.push_back("unknown exception");
+    }
+    // A failed attempt's partial telemetry feeds the quarantine record;
+    // keep the last attempt's (retries overwrite).
+    Outcome.PartialTelemetry = std::move(Partial);
   }
+  Outcome.Error = Outcome.AttemptErrors.back();
   return Outcome;
 }
 
@@ -430,7 +533,7 @@ ResultStore allocsim::runMatrix(const MatrixSpec &Spec,
       size_t Index = NextCell.fetch_add(1, std::memory_order_relaxed);
       if (Index >= Cells.size())
         return;
-      FinishCell(Index, runCell(Cells[Index], Options.CellRunner));
+      FinishCell(Index, runCell(Cells[Index], Options));
     }
   };
 

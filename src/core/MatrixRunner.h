@@ -105,10 +105,22 @@ struct CellOutcome {
   uint32_t PenaltyCycles = 25;
   uint64_t Seed = 0;
   bool Ok = false;
-  /// Failure description; empty when Ok.
+  /// Failure description; empty when Ok. When retries ran this is the last
+  /// attempt's error (AttemptErrors holds every attempt's).
   std::string Error;
   /// Valid only when Ok.
   RunResult Result;
+
+  /// Attempts consumed (1 without faults; up to 1 + FaultPlan::RetryLimit
+  /// under a fault plan). 0 only when the cell failed validation.
+  uint32_t Attempts = 0;
+  /// One error per failed attempt, in attempt order (seed-stable).
+  std::vector<std::string> AttemptErrors;
+  /// Telemetry accumulated before the last failed attempt died; empty for
+  /// ok cells (their full snapshot is in Result.Telemetry) and for cells
+  /// whose runner never captured partial state. Serialized into the
+  /// quarantine record so a crashed cell does not lose its counters.
+  TelemetrySnapshot PartialTelemetry;
 };
 
 /// Aggregated matrix results, always in deterministic cell order regardless
@@ -181,6 +193,11 @@ struct MatrixOptions {
   /// Cell execution seam; defaults to runExperiment. Tests inject throwing
   /// runners to exercise the failure policy.
   std::function<RunResult(const ExperimentConfig &)> CellRunner;
+  /// Like CellRunner, but the runner may fill the snapshot with partial
+  /// telemetry before throwing (the default runExperiment path does).
+  /// Takes precedence over CellRunner when both are set.
+  std::function<RunResult(const ExperimentConfig &, TelemetrySnapshot &)>
+      CellRunnerEx;
 };
 
 /// Executes every cell of \p Spec and returns the populated store.

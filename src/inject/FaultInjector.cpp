@@ -1,0 +1,171 @@
+//===- inject/FaultInjector.cpp - Deterministic fault injection -----------===//
+
+#include "inject/FaultInjector.h"
+
+#include "alloc/Allocator.h"
+
+using namespace allocsim;
+
+namespace {
+
+/// Attempts per injection at finding a suitable (and, for smashes,
+/// provably detectable) target word before the injection is skipped.
+constexpr int MaxTargetTries = 16;
+
+/// XOR poison for metadata smashes: flips bits in every byte, so the
+/// smashed word always differs from the original.
+constexpr uint32_t SmashPoison = 0xDEADBEEFu;
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &InjectPlan, SimHeap &SimHeap)
+    : Plan(InjectPlan), Heap(SimHeap), Rand(Plan.Seed), Priv(Heap, PrivLog) {}
+
+FaultInjector::~FaultInjector() {
+  Heap.bus().detach(&Priv);
+  if (Alloc)
+    Alloc->attachShadow(Downstream);
+}
+
+void FaultInjector::attachAllocator(Allocator &OuterAlloc,
+                                    HeapStateObserver *RealShadow) {
+  Alloc = &OuterAlloc;
+  Downstream = RealShadow;
+  Priv.setAllocatorName(OuterAlloc.name());
+  Priv.setFlushBus(&Heap.bus());
+  Heap.bus().attach(&Priv);
+  Walker = createHeapChecker(OuterAlloc);
+  // Re-attaching routes the allocator's annotations through the tee; the
+  // onShadowAttached re-annotation of static metadata is idempotent for the
+  // downstream shadow and primes the private one.
+  OuterAlloc.attachShadow(this);
+}
+
+void FaultInjector::onEvent(uint64_t OpOrdinal, HeapCheck *Check) {
+  // Both dice roll on every event, whatever happened on this one: the RNG
+  // stream — and with it every fault site — depends only on the plan seed
+  // and the (deterministic) simulated heap state.
+  bool RollFlip = Plan.FlipRate > 0.0 && Rand.nextBool(Plan.FlipRate);
+  bool RollSmash = Plan.SmashRate > 0.0 && Rand.nextBool(Plan.SmashRate);
+  if (RollFlip)
+    injectFlip(OpOrdinal, Check);
+  if (RollSmash)
+    injectSmash(OpOrdinal, Check);
+}
+
+Addr FaultInjector::pickFlipTarget() {
+  uint32_t Span = Heap.heapBytes();
+  if (Span >= 4) {
+    for (int Try = 0; Try != MaxTargetTries; ++Try) {
+      Addr Target =
+          Heap.base() + 4 * static_cast<Addr>(Rand.nextBelow(Span / 4));
+      if (Priv.byteState(Target) != ByteState::UserLive)
+        return Target;
+    }
+  }
+  // Fallback: a reference past the segment break is always out-of-segment.
+  return Heap.brk() + 4 * static_cast<Addr>(Rand.nextBelow(1024));
+}
+
+void FaultInjector::injectFlip(uint64_t OpOrdinal, HeapCheck *Check) {
+  MemoryBus &Bus = Heap.bus();
+  // Deliver the legitimate stream first: target selection needs a current
+  // private mirror, and the detection delta must cover only our access.
+  Bus.flush();
+  Addr Target = pickFlipTarget();
+  uint64_t Before = Check ? Check->violationCount() : 0;
+  Bus.emit(Target, 4, AccessKind::Write, AccessSource::Application);
+  Bus.flush();
+  bool Detected = Check && Check->violationCount() > Before;
+  Records.push_back({FaultKind::Flip, OpOrdinal, Target, Detected});
+}
+
+bool FaultInjector::walkerDetects(uint64_t OpOrdinal) {
+  ViolationLog Scratch(/*AbortOnFirst=*/false, /*RecordCap=*/0);
+  CheckContext Ctx{Heap, &Priv, Scratch, OpOrdinal};
+  Walker->check(Ctx);
+  return Scratch.count() > 0;
+}
+
+void FaultInjector::injectSmash(uint64_t OpOrdinal, HeapCheck *Check) {
+  MemoryBus &Bus = Heap.bus();
+  Bus.flush();
+  uint32_t Span = Heap.heapBytes();
+  if (Span < 4)
+    return;
+  for (int Try = 0; Try != MaxTargetTries; ++Try) {
+    Addr Target =
+        Heap.base() + 4 * static_cast<Addr>(Rand.nextBelow(Span / 4));
+    if (Priv.byteState(Target) != ByteState::Metadata)
+      continue;
+    uint32_t Saved = Heap.peek32(Target);
+    Heap.poke32(Target, Saved ^ SmashPoison);
+    if (!walkerDetects(OpOrdinal)) {
+      // This word does not participate in a walked invariant (padding,
+      // stale tag): unpick and try another so only provably detectable
+      // corruption enters the log.
+      Heap.poke32(Target, Saved);
+      continue;
+    }
+    bool Detected = false;
+    if (Check && Check->policy().Level == CheckLevel::Full) {
+      uint64_t Before = Check->violationCount();
+      Check->runWalk();
+      Detected = Check->violationCount() > Before;
+    }
+    // Unpick before the allocator runs again: FaultLab measures whether the
+    // detectors see the corruption, not how the allocator dies on it.
+    Heap.poke32(Target, Saved);
+    Records.push_back({FaultKind::Smash, OpOrdinal, Target, Detected});
+    return;
+  }
+}
+
+uint64_t FaultInjector::injected(FaultKind Kind) const {
+  uint64_t Count = 0;
+  for (const FaultRecord &Record : Records)
+    Count += Record.Kind == Kind;
+  return Count;
+}
+
+uint64_t FaultInjector::detected(FaultKind Kind) const {
+  uint64_t Count = 0;
+  for (const FaultRecord &Record : Records)
+    Count += Record.Kind == Kind && Record.Detected;
+  return Count;
+}
+
+uint64_t FaultInjector::detectedTotal() const {
+  uint64_t Count = 0;
+  for (const FaultRecord &Record : Records)
+    Count += Record.Detected;
+  return Count;
+}
+
+void FaultInjector::noteUserRange(const Allocator &NotingAlloc, Addr Address,
+                                  uint32_t Size) {
+  Priv.noteUserRange(NotingAlloc, Address, Size);
+  if (Downstream)
+    Downstream->noteUserRange(NotingAlloc, Address, Size);
+}
+
+void FaultInjector::noteFreedRange(const Allocator &NotingAlloc, Addr Address,
+                                   uint32_t Size) {
+  Priv.noteFreedRange(NotingAlloc, Address, Size);
+  if (Downstream)
+    Downstream->noteFreedRange(NotingAlloc, Address, Size);
+}
+
+void FaultInjector::noteMetadataRange(const Allocator &NotingAlloc,
+                                      Addr Address, uint32_t Size) {
+  Priv.noteMetadataRange(NotingAlloc, Address, Size);
+  if (Downstream)
+    Downstream->noteMetadataRange(NotingAlloc, Address, Size);
+}
+
+bool FaultInjector::noteInvalidFree(const Allocator &NotingAlloc,
+                                    Addr Address) {
+  Priv.noteInvalidFree(NotingAlloc, Address);
+  return Downstream ? Downstream->noteInvalidFree(NotingAlloc, Address)
+                    : false;
+}

@@ -1,0 +1,121 @@
+//===- inject/FaultInjector.h - Deterministic fault injection ---*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FaultLab's corruption engine: injects memory-bus bit flips (stray
+/// application references) and allocator-metadata smashes between the
+/// allocator and the ShadowHeap, at seed-derived deterministic sites, and
+/// records whether the run's HeapCheck caught each one — the injection log
+/// is the ground-truth oracle for detector efficacy.
+///
+/// The determinism contract: for a fixed plan and seed, the injected fault
+/// sites (kind, operation index, address) are bit-identical across job
+/// counts *and* check levels. To make site selection independent of the
+/// check configuration, the injector keeps its own private ShadowHeap
+/// (attached to the same bus, fed by the same allocator hooks through an
+/// observer tee) and its own private invariant walker:
+///
+///  * Flip targets are words whose private-shadow state is not UserLive —
+///    exactly the states for which the real shadow, when present, must
+///    report an application access. Detection at fast/full is guaranteed
+///    by construction, never probabilistic.
+///  * Smash targets are Metadata-state words whose poisoning the private
+///    walker provably detects: the injector pokes the poison, runs its own
+///    walker into a scratch log, and unpicks + retries (bounded) when the
+///    walk stays clean. Only verified-detectable smashes are recorded, so
+///    "full check missed an injected smash" is always a detector bug, not
+///    an injection artifact. The poison is reverted right after the live
+///    walk: the allocator never operates on a corrupted structure.
+///
+/// The injector emits real bus traffic for flips (they perturb cache and
+/// paging stats, as real faults would) but never charges CostModel
+/// instructions; with no plan attached nothing here exists and every output
+/// byte is identical to a build without FaultLab.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_INJECT_FAULTINJECTOR_H
+#define ALLOCSIM_INJECT_FAULTINJECTOR_H
+
+#include "check/HeapCheck.h"
+#include "check/HeapChecker.h"
+#include "check/HeapStateObserver.h"
+#include "check/ShadowHeap.h"
+#include "inject/FaultPlan.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <vector>
+
+namespace allocsim {
+
+class Allocator;
+
+/// One experiment's fault-injection engine. Construct, attach the
+/// allocator, then let the driver call onEvent after every executed event.
+class FaultInjector final : public HeapStateObserver {
+public:
+  /// \p Plan must have corruption enabled; \p Heap is the experiment heap.
+  FaultInjector(const FaultPlan &Plan, SimHeap &Heap);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector &) = delete;
+  FaultInjector &operator=(const FaultInjector &) = delete;
+
+  /// Interposes this injector between \p Alloc and \p Downstream (the real
+  /// shadow, or null at --check=off): the private shadow taps the bus and
+  /// receives every state annotation, and the private walker is built.
+  /// Call after HeapCheck::attachAllocator so the tee wraps the real shadow.
+  void attachAllocator(Allocator &Alloc, HeapStateObserver *Downstream);
+
+  /// Driver hook, called after event \p OpOrdinal completes (and after the
+  /// periodic heap check ran): rolls the per-event fault dice and injects.
+  /// \p Check is the run's checker (null at --check=off) — used only for
+  /// detection accounting, never for site selection.
+  void onEvent(uint64_t OpOrdinal, HeapCheck *Check);
+
+  /// The injection log, in injection order.
+  const std::vector<FaultRecord> &records() const { return Records; }
+  uint64_t injected(FaultKind Kind) const;
+  uint64_t detected(FaultKind Kind) const;
+  uint64_t injectedTotal() const { return Records.size(); }
+  uint64_t detectedTotal() const;
+
+  /// HeapStateObserver tee: every annotation feeds the private shadow and
+  /// is forwarded to the downstream (real) shadow when one is attached.
+  void noteUserRange(const Allocator &Alloc, Addr Address,
+                     uint32_t Size) override;
+  void noteFreedRange(const Allocator &Alloc, Addr Address,
+                      uint32_t Size) override;
+  void noteMetadataRange(const Allocator &Alloc, Addr Address,
+                         uint32_t Size) override;
+  bool noteInvalidFree(const Allocator &Alloc, Addr Address) override;
+
+private:
+  void injectFlip(uint64_t OpOrdinal, HeapCheck *Check);
+  void injectSmash(uint64_t OpOrdinal, HeapCheck *Check);
+  /// Picks a word whose private-shadow state guarantees a violation for an
+  /// application access (in-segment non-UserLive, else past the break).
+  Addr pickFlipTarget();
+  /// Runs the private walker over the current (poisoned) heap into a
+  /// scratch log; true when the poison is detectable.
+  bool walkerDetects(uint64_t OpOrdinal);
+
+  FaultPlan Plan;
+  SimHeap &Heap;
+  Rng Rand;
+  /// Private mirror: never aborts, retains nothing (counts are enough).
+  ViolationLog PrivLog{/*AbortOnFirst=*/false, /*RecordCap=*/0};
+  ShadowHeap Priv;
+  Allocator *Alloc = nullptr;
+  HeapStateObserver *Downstream = nullptr;
+  std::unique_ptr<HeapChecker> Walker;
+  std::vector<FaultRecord> Records;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_INJECT_FAULTINJECTOR_H

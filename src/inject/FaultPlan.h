@@ -1,0 +1,110 @@
+//===- inject/FaultPlan.h - Parsed fault-injection plan ---------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FaultLab plan: which fault classes to inject, at what rates, under
+/// which seed. Parsed from the `--inject` spec string — the same
+/// `key=value;key=value` surface as `--matrix`, diagnosed exhaustively via
+/// support/Diag so a typo'd plan is a usage error, never a silently
+/// fault-free run. Grammar (every key optional; an empty spec is a disabled
+/// plan):
+///
+///   oom:after=<bytes>   allow only <bytes> of further sbrk growth once the
+///                       experiment rig is built, then deny (null-on-OOM)
+///   flip:rate=<p>       per-event probability of a stray application
+///                       reference (an address-line bit flip) on the bus
+///   smash:rate=<p>      per-event probability of a one-word corruption of
+///                       allocator-private metadata (boundary tag, freelist
+///                       link, descriptor)
+///   cell:rate=<p>       per-attempt probability that a MatrixRunner worker
+///                       "crashes" a cell before it runs
+///   retry:limit=<n>     bounded retries per failed matrix cell (default 2)
+///   seed=<n>            fault-site RNG seed (cells re-derive per-cell
+///                       seeds from it at matrix-expansion time)
+///
+/// Rates are probabilities in [0, 1]. Rule ids: inject-unknown-fault,
+/// inject-bad-value, plus the structural spec-* rules of parseSpecKeyValues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_INJECT_FAULTPLAN_H
+#define ALLOCSIM_INJECT_FAULTPLAN_H
+
+#include "mem/MemAccess.h"
+#include "support/Diag.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace allocsim {
+
+/// The corruption classes FaultLab injects between allocator and ShadowHeap.
+enum class FaultKind : uint8_t {
+  /// Stray application reference to an address that is not live user data.
+  Flip,
+  /// One-word smash of allocator-private metadata, verified detectable by
+  /// the allocator's own invariant walker before it is counted.
+  Smash,
+};
+
+const char *faultKindName(FaultKind Kind);
+
+/// One injected fault site — the injection log entry the efficacy tests use
+/// as their oracle. (Kind, OpIndex, Address) identify the site and must be
+/// bit-identical across job counts and check levels for a fixed plan+seed;
+/// Detected records whether the live HeapCheck flagged it.
+struct FaultRecord {
+  FaultKind Kind = FaultKind::Flip;
+  /// Driver event ordinal after which the fault was injected.
+  uint64_t OpIndex = 0;
+  /// Simulated address the fault targeted.
+  Addr Address = 0;
+  /// True when the run's HeapCheck reported it (always false at --check=off).
+  bool Detected = false;
+
+  bool operator==(const FaultRecord &Other) const = default;
+};
+
+/// A parsed, validated fault plan. Default-constructed plans are disabled
+/// and inject nothing — the no-`--inject` path never consults one.
+struct FaultPlan {
+  /// The original spec text (echoed into the matrix `faults` section).
+  std::string Spec;
+  /// True once a non-empty spec parsed cleanly; gates every injection hook.
+  bool Active = false;
+  /// Fault-site RNG seed (`seed=`); when unset, tools default it to the
+  /// experiment seed so plans are reproducible without extra flags.
+  uint64_t Seed = 0;
+  bool SeedSet = false;
+  /// `oom:after=` — additional sbrk growth allowed after rig construction.
+  /// UINT64_MAX means unlimited (OOM class disabled).
+  uint64_t OomAfterBytes = UINT64_MAX;
+  /// `flip:rate=` / `smash:rate=` — per-driver-event probabilities.
+  double FlipRate = 0.0;
+  double SmashRate = 0.0;
+  /// `cell:rate=` — per-attempt worker-fault probability in MatrixRunner.
+  double CellRate = 0.0;
+  /// `retry:limit=` — bounded retries per failed matrix cell.
+  uint32_t RetryLimit = 2;
+
+  bool enabled() const { return Active; }
+  bool oomEnabled() const { return Active && OomAfterBytes != UINT64_MAX; }
+  bool corruptionEnabled() const {
+    return Active && (FlipRate > 0.0 || SmashRate > 0.0);
+  }
+
+  bool operator==(const FaultPlan &Other) const = default;
+};
+
+/// Parses \p Text into a plan, reporting every problem into \p Diags (rules
+/// inject-unknown-fault, inject-bad-value, spec-*). The returned plan is
+/// Active only when \p Text is non-empty and \p Diags gained no errors.
+FaultPlan parseFaultPlan(const std::string &Text, DiagEngine &Diags);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_INJECT_FAULTPLAN_H

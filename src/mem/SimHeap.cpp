@@ -30,6 +30,21 @@ Addr SimHeap::sbrk(uint32_t Bytes) {
     reportFatalError("simulated heap limit exceeded (sbrk of " +
                      std::to_string(Bytes) + " bytes past " +
                      std::to_string(heapBytes()) + ")");
+  return grow(Bytes);
+}
+
+bool SimHeap::trySbrk(uint32_t Bytes, Addr &OldBreak) {
+  Bus.flush();
+  if (Bytes > Limit - heapBytes() ||
+      uint64_t(heapBytes()) + Bytes > SoftLimit) {
+    ++SbrkDenied;
+    return false;
+  }
+  OldBreak = grow(Bytes);
+  return true;
+}
+
+Addr SimHeap::grow(uint32_t Bytes) {
   if (SbrkCallsProbe) {
     SbrkCallsProbe->add();
     SbrkBytesProbe->add(Bytes);

@@ -46,6 +46,22 @@ public:
   /// exhaust a modern host's memory).
   Addr sbrk(uint32_t Bytes);
 
+  /// Non-fatal sbrk: on success sets \p OldBreak to the address of the new
+  /// region and returns true; when growth would exceed the hard limit or
+  /// the FaultLab soft capacity, counts the denial and returns false with
+  /// the heap unchanged. Allocator growth paths use this form so exhaustion
+  /// propagates as a null malloc instead of killing the experiment.
+  bool trySbrk(uint32_t Bytes, Addr &OldBreak);
+
+  /// Caps heapBytes() at \p TotalBytes for trySbrk (the fatal sbrk keeps
+  /// honoring only the hard limit). UINT64_MAX — the default — disables
+  /// the cap. FaultLab's `oom:after=` plans set this once the rig is built.
+  void setSoftLimit(uint64_t TotalBytes) { SoftLimit = TotalBytes; }
+  uint64_t softLimit() const { return SoftLimit; }
+
+  /// trySbrk calls denied so far (by either limit).
+  uint64_t sbrkDenied() const { return SbrkDenied; }
+
   Addr base() const { return Base; }
   Addr brk() const { return Break; }
 
@@ -99,7 +115,13 @@ private:
   Addr Base;
   Addr Break;
   uint32_t Limit;
+  /// FaultLab capacity cap on heapBytes(); UINT64_MAX when uncapped.
+  uint64_t SoftLimit = UINT64_MAX;
+  uint64_t SbrkDenied = 0;
   std::vector<uint8_t> Storage;
+
+  /// Limit-checked growth tail shared by sbrk and trySbrk.
+  Addr grow(uint32_t Bytes);
 
   /// Telemetry probes; null when telemetry is off.
   TelemetryCounter *SbrkCallsProbe = nullptr;

@@ -3,6 +3,7 @@
 #include "workload/Driver.h"
 
 #include "check/HeapCheck.h"
+#include "inject/FaultInjector.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -55,12 +56,21 @@ void Driver::execute(const AllocEvent &Event) {
   switch (Event.Kind) {
   case AllocEventKind::Malloc: {
     Addr Address = Alloc.malloc(Event.Amount);
-    [[maybe_unused]] bool Inserted =
-        Objects
-            .emplace(Event.Id, ObjectInfo{Address, (Event.Amount + 3) / 4,
-                                          EventOrdinal})
-            .second;
-    assert(Inserted && "duplicate object id in event stream");
+    if (Address == 0) {
+      // Simulated heap exhaustion: remember the id so the stream's later
+      // touches/frees of this object degrade to no-ops instead of faulting.
+      assert(Objects.find(Event.Id) == Objects.end() &&
+             "duplicate object id in event stream");
+      FailedIds.insert(Event.Id);
+      ++DroppedEvents;
+    } else {
+      [[maybe_unused]] bool Inserted =
+          Objects
+              .emplace(Event.Id, ObjectInfo{Address, (Event.Amount + 3) / 4,
+                                            EventOrdinal})
+              .second;
+      assert(Inserted && "duplicate object id in event stream");
+    }
     if (Check) {
       // Allocator-event boundary: deliver everything this malloc emitted
       // before the checker's operation clock advances (HeapCheck flushes
@@ -72,8 +82,13 @@ void Driver::execute(const AllocEvent &Event) {
   }
   case AllocEventKind::Free: {
     auto It = Objects.find(Event.Id);
-    if (It == Objects.end())
+    if (It == Objects.end()) {
+      if (FailedIds.erase(Event.Id) != 0) {
+        ++DroppedEvents;
+        break;
+      }
       reportFatalError("event stream frees unknown object");
+    }
     if (LifetimeHist)
       LifetimeHist->record(EventOrdinal - It->second.BirthOrdinal);
     Alloc.free(It->second.Address);
@@ -86,8 +101,13 @@ void Driver::execute(const AllocEvent &Event) {
   }
   case AllocEventKind::Touch: {
     auto It = Objects.find(Event.Id);
-    if (It == Objects.end())
+    if (It == Objects.end()) {
+      if (FailedIds.count(Event.Id) != 0) {
+        ++DroppedEvents;
+        break;
+      }
       reportFatalError("event stream touches unknown object");
+    }
     touchObject(It->second.Address, It->second.Words, Event.Amount,
                 Event.Access);
     break;
@@ -96,6 +116,8 @@ void Driver::execute(const AllocEvent &Event) {
     touchStack(Event.Amount, Event.Access);
     break;
   }
+  if (Inj)
+    Inj->onEvent(EventOrdinal, Check);
 }
 
 Addr Driver::addressOf(uint32_t Id) const {

@@ -29,9 +29,11 @@
 
 #include <array>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace allocsim {
 
+class FaultInjector;
 class HeapCheck;
 
 /// Executes allocation events against an allocator.
@@ -58,6 +60,16 @@ public:
   /// Attaches (or detaches, with nullptr) the heap-integrity checker; its
   /// operation clock is advanced after every malloc/free event.
   void setHeapCheck(HeapCheck *Checker) { Check = Checker; }
+
+  /// Attaches (or detaches, with nullptr) a fault injector; its event hook
+  /// runs after every executed event, on the same deterministic event clock
+  /// at every check level and job count.
+  void setFaultInjector(FaultInjector *Injector) { Inj = Injector; }
+
+  /// Events dropped because they named an object whose malloc failed under
+  /// a simulated heap limit (the failed malloc itself, plus every later
+  /// touch/free of that id). Always 0 without an OOM fault plan.
+  uint64_t droppedEvents() const { return DroppedEvents; }
 
   /// Attaches (or detaches, with nullptr) a telemetry registry. A
   /// "driver.events" counter tracks executed events; at full level a
@@ -98,6 +110,15 @@ private:
 
   /// Optional heap-integrity checker (null when checking is off).
   HeapCheck *Check = nullptr;
+
+  /// Optional fault injector (null unless a corruption plan is active).
+  FaultInjector *Inj = nullptr;
+
+  /// Graceful OOM degradation: ids whose malloc returned null. Their later
+  /// touches and frees are dropped (a real program would have branched on
+  /// the null), while genuinely unknown ids stay fatal stream errors.
+  std::unordered_set<uint32_t> FailedIds;
+  uint64_t DroppedEvents = 0;
 
   /// Telemetry probes; null when telemetry is off. OpInstrHists is indexed
   /// by AllocEventKind.

@@ -97,15 +97,19 @@ struct FuzzOutcome {
   uint64_t DistinctPages = 0;
   uint64_t Violations = 0;
   uint64_t Walks = 0;
+  uint64_t FailedMallocs = 0;
+  uint64_t DroppedEvents = 0;
   std::vector<std::string> Reports;
 
   bool operator==(const FuzzOutcome &Other) const = default;
 };
 
 /// Replays \p Events against a fresh allocator of kind \p Kind with full
-/// checking, under batched or scalar delivery.
+/// checking, under batched or scalar delivery. \p CapacityBytes, when not
+/// UINT64_MAX, soft-limits heap growth past the allocator's static area so
+/// the stream runs into graceful OOM mid-flight.
 FuzzOutcome replay(const std::vector<AllocEvent> &Events, AllocatorKind Kind,
-                   bool Batched) {
+                   bool Batched, uint64_t CapacityBytes = UINT64_MAX) {
   MemoryBus Bus;
   if (Batched)
     Bus.setBatchCapacity(AccessBatch::MaxCapacity);
@@ -127,6 +131,10 @@ FuzzOutcome replay(const std::vector<AllocEvent> &Events, AllocatorKind Kind,
   HeapCheck Check(Policy, Heap, Bus);
   Check.attachAllocator(*Alloc);
 
+  if (CapacityBytes != UINT64_MAX)
+    Heap.setSoftLimit(static_cast<uint64_t>(Heap.heapBytes()) +
+                      CapacityBytes);
+
   Driver Drive(*Alloc, Bus, Cost, /*InstrPerRef=*/3.0);
   Drive.setHeapCheck(&Check);
   for (const AllocEvent &Event : Events)
@@ -144,6 +152,8 @@ FuzzOutcome replay(const std::vector<AllocEvent> &Events, AllocatorKind Kind,
   Outcome.DistinctPages = Paging.distinctPages();
   Outcome.Violations = Check.violationCount();
   Outcome.Walks = Check.walksRun();
+  Outcome.FailedMallocs = Alloc->stats().FailedMallocs;
+  Outcome.DroppedEvents = Drive.droppedEvents();
   for (const CheckViolation &V : Check.violations())
     Outcome.Reports.push_back(V.message());
   return Outcome;
@@ -195,6 +205,58 @@ TEST(AllocatorFuzzTest, BatchedMatchesScalarDifferentially) {
       FuzzOutcome Scalar = replay(Events, Kind, /*Batched=*/false);
       EXPECT_EQ(Batched, Scalar);
     }
+  }
+}
+
+TEST(AllocatorFuzzTest, CapacityLimitedRunsStayDifferential) {
+  // FaultLab's OOM axis, fuzzed: the same stream replayed under a tight
+  // heap capacity must (a) hit graceful malloc failures, (b) stay free of
+  // integrity violations — a failed malloc may not corrupt what was already
+  // built — and (c) remain bit-identical between batched and scalar
+  // delivery, failed objects and dropped events included.
+  for (AllocatorKind Kind : PaperAllocators) {
+    bool SawFailures = false;
+    for (uint64_t Seed : FuzzSeeds) {
+      // A seed-derived onset past the static area: tight enough that the
+      // 2000-op stream (live set tens of KB) runs out mid-flight.
+      uint64_t Capacity = 8192 + (SplitMix64(Seed).next() % 32768);
+      SCOPED_TRACE(std::string(allocatorKindName(Kind)) + "/seed=" +
+                   std::to_string(Seed) + "/capacity=" +
+                   std::to_string(Capacity));
+      std::vector<AllocEvent> Events = synthesizeScript(Seed, 2000);
+      FuzzOutcome Batched = replay(Events, Kind, /*Batched=*/true, Capacity);
+      EXPECT_EQ(Batched.Violations, 0u)
+          << (Batched.Reports.empty() ? std::string("(no report)")
+                                      : Batched.Reports.front());
+      FuzzOutcome Scalar = replay(Events, Kind, /*Batched=*/false, Capacity);
+      EXPECT_EQ(Batched, Scalar);
+      if (Batched.FailedMallocs > 0) {
+        SawFailures = true;
+        // Every failed object's later touches and its free are dropped,
+        // so drops can only exist alongside failures.
+        EXPECT_GT(Batched.DroppedEvents, 0u);
+      } else {
+        EXPECT_EQ(Batched.DroppedEvents, 0u);
+      }
+    }
+    EXPECT_TRUE(SawFailures)
+        << allocatorKindName(Kind)
+        << ": no seed ran out of heap — capacities too generous";
+  }
+}
+
+TEST(AllocatorFuzzTest, UnlimitedCapacityIsTheDefaultBehaviour) {
+  // Passing an effectively-unlimited capacity must not perturb the run:
+  // bit-identical to the no-limit replay, with zero failures.
+  std::vector<AllocEvent> Events = synthesizeScript(FuzzSeeds[0], 2000);
+  for (AllocatorKind Kind : PaperAllocators) {
+    SCOPED_TRACE(allocatorKindName(Kind));
+    FuzzOutcome Unlimited = replay(Events, Kind, /*Batched=*/true);
+    FuzzOutcome Generous =
+        replay(Events, Kind, /*Batched=*/true, uint64_t(1) << 40);
+    EXPECT_EQ(Unlimited, Generous);
+    EXPECT_EQ(Generous.FailedMallocs, 0u);
+    EXPECT_EQ(Generous.DroppedEvents, 0u);
   }
 }
 

@@ -219,6 +219,143 @@ TEST(MatrixRunnerTest, FailedCellIsAttributedAndOthersComplete) {
   EXPECT_NE(Json.str().find("injected cell failure"), std::string::npos);
 }
 
+TEST(MatrixRunnerTest, FailedCellPreservesPartialTelemetry) {
+  // Regression: a cell whose runner dies mid-run used to lose everything it
+  // had measured. The runner seam now hands the worker a snapshot it can
+  // fill before throwing, and the quarantine record keeps it.
+  MatrixSpec Spec = smallSpec();
+  MatrixOptions Options;
+  Options.Jobs = 8;
+  Options.CellRunnerEx = [](const ExperimentConfig &Config,
+                            TelemetrySnapshot &Partial) -> RunResult {
+    if (Config.Workload == WorkloadId::Make &&
+        Config.Allocator == AllocatorKind::QuickFit &&
+        Config.MissPenaltyCycles == 100) {
+      Partial.Counters["alloc.malloc.calls"] = 4242;
+      Partial.Counters["fault.oom.sbrk_denied"] = 7;
+      throw std::runtime_error("worker crashed mid-run");
+    }
+    RunResult Result;
+    Result.TotalRefs = 1;
+    return Result;
+  };
+  ResultStore Store = runMatrix(Spec, Options);
+  EXPECT_EQ(Store.failedCount(), 1u);
+
+  for (size_t I = 0; I != Store.size(); ++I) {
+    const CellOutcome &Cell = Store.cell(I);
+    if (!Cell.Ok) {
+      // The partial counters survived the crash.
+      EXPECT_EQ(Cell.PartialTelemetry.counterValue("alloc.malloc.calls"),
+                4242u);
+      EXPECT_EQ(Cell.PartialTelemetry.counterValue("fault.oom.sbrk_denied"),
+                7u);
+      EXPECT_EQ(Cell.Error, "worker crashed mid-run");
+    } else {
+      EXPECT_TRUE(Cell.PartialTelemetry.empty());
+    }
+  }
+
+  // ... and they serialize: the telemetry export emits the partial snapshot
+  // for the failed cell instead of an empty object.
+  std::ostringstream Json;
+  Store.writeTelemetryJson(Json);
+  EXPECT_NE(Json.str().find("\"alloc.malloc.calls\": 4242"),
+            std::string::npos);
+}
+
+TEST(MatrixRunnerTest, WorkerFaultsExhaustRetriesIntoQuarantine) {
+  // cell:rate=1.0 kills every attempt of every cell: each cell burns
+  // 1 + retry:limit attempts, records one error per attempt, and lands in
+  // quarantine with the last attempt's error.
+  MatrixSpec Spec = smallSpec();
+  DiagEngine Diags;
+  Spec.Base.Inject = parseFaultPlan("cell:rate=1.0;retry:limit=2;seed=7",
+                                    Diags);
+  ASSERT_EQ(Diags.errorCount(), 0u);
+  ASSERT_TRUE(Spec.Base.Inject.enabled());
+
+  MatrixOptions Options;
+  Options.Jobs = 4;
+  Options.CellRunner = [](const ExperimentConfig &) { return RunResult(); };
+  ResultStore Store = runMatrix(Spec, Options);
+  EXPECT_EQ(Store.failedCount(), Store.size());
+  for (size_t I = 0; I != Store.size(); ++I) {
+    const CellOutcome &Cell = Store.cell(I);
+    EXPECT_EQ(Cell.Attempts, 3u);
+    ASSERT_EQ(Cell.AttemptErrors.size(), 3u);
+    for (size_t A = 0; A != 3; ++A)
+      EXPECT_EQ(Cell.AttemptErrors[A], "injected worker fault (attempt " +
+                                           std::to_string(A + 1) + ")");
+    EXPECT_EQ(Cell.Error, Cell.AttemptErrors.back());
+  }
+
+  // The quarantine section is first-class in the matrix JSON.
+  std::ostringstream Json;
+  Store.writeJson(Json);
+  EXPECT_NE(Json.str().find("\"faults\""), std::string::npos);
+  EXPECT_NE(Json.str().find("\"quarantine\""), std::string::npos);
+}
+
+TEST(MatrixRunnerTest, RetryOutcomesAreIdenticalAtAnyJobCount) {
+  // A 50% worker-fault rate makes some cells retry and some quarantine.
+  // Which ones is fixed by the per-cell fault seed at expansion, so the
+  // complete retry history must be bit-identical at --jobs=1 and --jobs=8.
+  MatrixSpec Spec = smallSpec();
+  DiagEngine Diags;
+  Spec.Base.Inject = parseFaultPlan("cell:rate=0.5;retry:limit=1;seed=99",
+                                    Diags);
+  ASSERT_EQ(Diags.errorCount(), 0u);
+
+  MatrixOptions Serial, Parallel;
+  Serial.Jobs = 1;
+  Parallel.Jobs = 8;
+  Serial.CellRunner = Parallel.CellRunner =
+      [](const ExperimentConfig &) { return RunResult(); };
+  ResultStore A = runMatrix(Spec, Serial);
+  ResultStore B = runMatrix(Spec, Parallel);
+  ASSERT_EQ(A.size(), B.size());
+
+  size_t Retried = 0, Quarantined = 0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    const CellOutcome &CA = A.cell(I);
+    const CellOutcome &CB = B.cell(I);
+    EXPECT_EQ(CA.Ok, CB.Ok);
+    EXPECT_EQ(CA.Attempts, CB.Attempts);
+    EXPECT_EQ(CA.AttemptErrors, CB.AttemptErrors);
+    EXPECT_EQ(CA.Error, CB.Error);
+    if (CA.Ok && CA.Attempts > 1)
+      ++Retried;
+    if (!CA.Ok)
+      ++Quarantined;
+    if (CA.Ok) {
+      EXPECT_EQ(CA.AttemptErrors.size(), CA.Attempts - 1);
+    }
+  }
+  // The 50% dice at this seed must actually exercise both paths; if this
+  // ever fires the seed constant changed, not the scheduler.
+  EXPECT_GT(Retried + Quarantined, 0u);
+}
+
+TEST(MatrixRunnerTest, NoPlanMeansNoFaultMachinery) {
+  // Without --inject the retry loop collapses to one attempt and the JSON
+  // carries no faults section — the bit-exactness guarantee for plan-free
+  // runs rests on this.
+  MatrixSpec Spec = smallSpec();
+  ASSERT_FALSE(Spec.Base.Inject.enabled());
+  MatrixOptions Options;
+  Options.Jobs = 2;
+  Options.CellRunner = [](const ExperimentConfig &) { return RunResult(); };
+  ResultStore Store = runMatrix(Spec, Options);
+  for (size_t I = 0; I != Store.size(); ++I) {
+    EXPECT_EQ(Store.cell(I).Attempts, 1u);
+    EXPECT_TRUE(Store.cell(I).AttemptErrors.empty());
+  }
+  std::ostringstream Json;
+  Store.writeJson(Json);
+  EXPECT_EQ(Json.str().find("\"faults\""), std::string::npos);
+}
+
 TEST(MatrixRunnerTest, InvalidGeometryFailsValidationNotTheProcess) {
   MatrixSpec Spec = smallSpec();
   Spec.Caches.push_back(CacheConfig{3000, 32, 1}); // not a power of two

@@ -1,0 +1,238 @@
+//===- tests/oom_test.cpp - Graceful heap-exhaustion degradation ----------===//
+//
+// FaultLab's OOM contract, held for every allocator: when the simulated heap
+// hits its soft capacity limit, malloc returns null — it never aborts and
+// never corrupts the structures it already built. The suite sweeps the
+// capacity from zero to "everything fits" and, after every failed malloc,
+// runs the allocator's full invariant walk and re-checks the live-byte
+// accounting against an independently tracked model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/CustomAlloc.h"
+#include "alloc/GnuLocal.h"
+#include "check/HeapCheck.h"
+#include "core/Lab.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+using namespace allocsim;
+
+namespace {
+
+/// Every allocator the OOM contract covers: the paper's five plus the
+/// extensions (BestFit, Custom, tag-emulating GnuLocal).
+struct OomSubject {
+  const char *Name;
+  std::function<std::unique_ptr<Allocator>(SimHeap &, CostModel &)> Build;
+};
+
+SizeClassMap testClasses() {
+  Histogram Sizes;
+  for (uint32_t Size : {8u, 16u, 24u, 40u, 64u, 120u, 256u})
+    for (int I = 0; I != 8; ++I)
+      Sizes.add(Size);
+  return SizeClassMap::fromProfile(Sizes, 6, 256);
+}
+
+std::vector<OomSubject> subjects() {
+  std::vector<OomSubject> Subjects;
+  for (AllocatorKind Kind : PaperAllocators)
+    Subjects.push_back({allocatorKindName(Kind),
+                        [Kind](SimHeap &Heap, CostModel &Cost) {
+                          return createAllocator(Kind, Heap, Cost);
+                        }});
+  Subjects.push_back({"BestFit", [](SimHeap &Heap, CostModel &Cost) {
+                        return createAllocator(AllocatorKind::BestFit, Heap,
+                                               Cost);
+                      }});
+  Subjects.push_back({"Custom", [](SimHeap &Heap, CostModel &Cost) {
+                        return std::make_unique<CustomAlloc>(Heap, Cost,
+                                                             testClasses());
+                      }});
+  Subjects.push_back({"GnuLocalTagged", [](SimHeap &Heap, CostModel &Cost) {
+                        return std::make_unique<GnuLocal>(
+                            Heap, Cost, /*EmulateBoundaryTags=*/true);
+                      }});
+  return Subjects;
+}
+
+/// One capacity-limited run: a deterministic malloc/free mix against the
+/// soft-limited heap, with an invariant walk and exact live accounting
+/// asserted after every failed malloc.
+void runCapacityTrial(const OomSubject &Subject, uint64_t CapacityBytes,
+                      uint64_t &FailedOut, uint64_t &SucceededOut) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  std::unique_ptr<Allocator> Alloc = Subject.Build(Heap, Cost);
+
+  CheckPolicy Policy;
+  Policy.Level = CheckLevel::Full;
+  Policy.AbortOnViolation = false;
+  HeapCheck Check(Policy, Heap, Bus);
+  Check.attachAllocator(*Alloc);
+
+  // The limit applies to growth past the allocator's static area, so even
+  // capacity 0 exercises a fully constructed allocator.
+  Heap.setSoftLimit(static_cast<uint64_t>(Heap.heapBytes()) + CapacityBytes);
+
+  Rng Rand(0x00D0FEED ^ CapacityBytes);
+  std::vector<std::pair<Addr, uint32_t>> Live; // (ptr, requested size)
+  uint64_t LiveBytes = 0, Failed = 0, Succeeded = 0;
+
+  for (int Op = 0; Op != 400; ++Op) {
+    if (Live.empty() || Rand.nextBelow(100) < 60) {
+      uint32_t Size = 4 + static_cast<uint32_t>(Rand.nextBelow(120));
+      if (Rand.nextBelow(12) == 0)
+        Size = 512 + static_cast<uint32_t>(Rand.nextBelow(4096));
+      Addr Ptr = Alloc->malloc(Size);
+      Bus.flush();
+      if (Ptr == 0) {
+        ++Failed;
+        // The failed call must leave every structure walkable and must not
+        // have touched the live accounting.
+        uint64_t Before = Check.violationCount();
+        Check.runWalk();
+        ASSERT_EQ(Check.violationCount(), Before)
+            << Subject.Name << ": invariant walk failed after OOM at capacity "
+            << CapacityBytes;
+      } else {
+        ++Succeeded;
+        Live.push_back({Ptr, Size});
+        LiveBytes += Size;
+      }
+      const AllocatorStats &Stats = Alloc->stats();
+      ASSERT_EQ(Stats.FailedMallocs, Failed) << Subject.Name;
+      ASSERT_EQ(Stats.LiveObjects, Live.size()) << Subject.Name;
+      ASSERT_EQ(Stats.LiveBytes, LiveBytes) << Subject.Name;
+      ASSERT_EQ(Stats.MallocCalls, Failed + Succeeded) << Subject.Name;
+    } else {
+      size_t Victim = Rand.nextBelow(Live.size());
+      Alloc->free(Live[Victim].first);
+      Bus.flush();
+      LiveBytes -= Live[Victim].second;
+      Live[Victim] = Live.back();
+      Live.pop_back();
+      ASSERT_EQ(Alloc->stats().LiveBytes, LiveBytes) << Subject.Name;
+    }
+  }
+
+  // Frees still succeed after exhaustion, and the drained heap walks clean.
+  for (auto [Ptr, Size] : Live)
+    Alloc->free(Ptr);
+  Bus.flush();
+  Check.finalCheck();
+  EXPECT_EQ(Check.violationCount(), 0u) << Subject.Name;
+  EXPECT_EQ(Alloc->stats().LiveBytes, 0u) << Subject.Name;
+  EXPECT_EQ(Alloc->stats().LiveObjects, 0u) << Subject.Name;
+
+  FailedOut = Failed;
+  SucceededOut = Succeeded;
+}
+
+} // namespace
+
+TEST(OomTest, NullNeverAbortsAcrossCapacitySweep) {
+  // 0 → tight → generous → effectively unlimited; every allocator must
+  // degrade with null returns at the tight end and see zero failures at
+  // the unlimited end.
+  const uint64_t Capacities[] = {0,     2048,    8192,   32768,
+                                 65536, 1 << 20, 1 << 28};
+  for (const OomSubject &Subject : subjects()) {
+    bool SawFailures = false;
+    for (uint64_t Capacity : Capacities) {
+      SCOPED_TRACE(std::string(Subject.Name) + "/capacity=" +
+                   std::to_string(Capacity));
+      uint64_t Failed = 0, Succeeded = 0;
+      runCapacityTrial(Subject, Capacity, Failed, Succeeded);
+      if (Failed > 0)
+        SawFailures = true;
+      if (Capacity == 0) {
+        EXPECT_EQ(Succeeded, 0u) << Subject.Name;
+      }
+      if (Capacity >= (1u << 28)) {
+        EXPECT_EQ(Failed, 0u) << Subject.Name;
+      }
+    }
+    EXPECT_TRUE(SawFailures)
+        << Subject.Name << ": sweep never triggered an OOM";
+  }
+}
+
+TEST(OomTest, SbrkDeniedCountsEveryRefusal) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  Heap.setSoftLimit(4096);
+  EXPECT_EQ(Heap.softLimit(), 4096u);
+
+  Addr Old = 0;
+  ASSERT_TRUE(Heap.trySbrk(4096, Old));
+  EXPECT_EQ(Old, Heap.base());
+  EXPECT_EQ(Heap.sbrkDenied(), 0u);
+
+  EXPECT_FALSE(Heap.trySbrk(4, Old));
+  EXPECT_FALSE(Heap.trySbrk(1, Old));
+  EXPECT_EQ(Heap.sbrkDenied(), 2u);
+  EXPECT_EQ(Heap.heapBytes(), 4096u);
+
+  // Raising the limit un-wedges growth.
+  Heap.setSoftLimit(8192);
+  EXPECT_TRUE(Heap.trySbrk(4096, Old));
+  EXPECT_EQ(Heap.heapBytes(), 8192u);
+}
+
+TEST(OomTest, DriverDegradesGracefullyOnFailedObjects) {
+  // Through the full experiment rig: a tight oom plan drops the failed
+  // object's malloc and all of its later touches/frees, and the run still
+  // completes with exact fault accounting in the result.
+  ExperimentConfig Config;
+  Config.Workload = WorkloadId::Espresso;
+  Config.Allocator = AllocatorKind::Bsd;
+  Config.Engine.Scale = 64;
+  Config.Check.Level = CheckLevel::Full;
+
+  DiagEngine Diags;
+  Config.Inject = parseFaultPlan("oom:after=16384", Diags);
+  ASSERT_EQ(Diags.errorCount(), 0u);
+  ASSERT_TRUE(Config.Inject.oomEnabled());
+
+  RunResult Result = runExperiment(Config);
+  EXPECT_GT(Result.SbrkDenied, 0u);
+  EXPECT_GT(Result.DroppedEvents, 0u);
+  EXPECT_GT(Result.Alloc.FailedMallocs, 0u);
+  EXPECT_EQ(Result.CheckViolations, 0u);
+  EXPECT_LE(Result.HeapBytes, 16384u + 4096u); // static area + capacity
+
+  // Same plan, no plan: the unlimited run drops nothing.
+  ExperimentConfig Clean = Config;
+  Clean.Inject = FaultPlan();
+  RunResult CleanResult = runExperiment(Clean);
+  EXPECT_EQ(CleanResult.SbrkDenied, 0u);
+  EXPECT_EQ(CleanResult.DroppedEvents, 0u);
+  EXPECT_EQ(CleanResult.Alloc.FailedMallocs, 0u);
+}
+
+TEST(OomTest, OomRunsAreDeterministic) {
+  ExperimentConfig Config;
+  Config.Workload = WorkloadId::Gs;
+  Config.Allocator = AllocatorKind::QuickFit;
+  Config.Engine.Scale = 64;
+
+  DiagEngine Diags;
+  Config.Inject = parseFaultPlan("oom:after=32768", Diags);
+  ASSERT_EQ(Diags.errorCount(), 0u);
+
+  RunResult A = runExperiment(Config);
+  RunResult B = runExperiment(Config);
+  EXPECT_EQ(A.SbrkDenied, B.SbrkDenied);
+  EXPECT_EQ(A.DroppedEvents, B.DroppedEvents);
+  EXPECT_EQ(A.Alloc.FailedMallocs, B.Alloc.FailedMallocs);
+  EXPECT_EQ(A.TotalRefs, B.TotalRefs);
+  EXPECT_EQ(A.totalInstructions(), B.totalInstructions());
+}

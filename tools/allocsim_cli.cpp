@@ -29,6 +29,7 @@
 #include "analyze/LintReport.h"
 #include "analyze/SpecLint.h"
 #include "core/MatrixRunner.h"
+#include "inject/FaultPlan.h"
 #include "support/CommandLine.h"
 #include "support/SpecParse.h"
 #include "support/Table.h"
@@ -115,6 +116,11 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("out-telemetry-csv", "",
               "write long-form telemetry (one row per cell x instrument) "
               "as CSV to this path");
+  Cli.addFlag("inject", "",
+              "FaultLab fault plan, e.g. \"oom:after=65536;flip:rate=1e-4;"
+              "smash:rate=1e-4;cell:rate=0.2;retry:limit=2;seed=7\"; fault "
+              "sites are deterministic per seed and bit-identical at any "
+              "--jobs count (defaults seed to --seed when unset)");
   Cli.addFlag("csv", "false", "emit the summary table as CSV");
   Cli.addFlag("lint", "false",
               "lint the --matrix spec exhaustively and exit without "
@@ -159,6 +165,16 @@ int main(int Argc, char **Argv) {
                               Spec.Base.Telemetry))
     return usageError("bad --telemetry '" + Cli.getString("telemetry") +
                       "' (expected off, summary or full)");
+  if (!Cli.getString("inject").empty()) {
+    DiagEngine Diags;
+    Spec.Base.Inject = parseFaultPlan(Cli.getString("inject"), Diags);
+    if (Diags.errorCount() != 0) {
+      Diags.print(std::cerr, "--inject");
+      return 2;
+    }
+    if (!Spec.Base.Inject.SeedSet)
+      Spec.Base.Inject.Seed = Spec.Base.Engine.Seed;
+  }
 
   if (!Cli.getString("matrix").empty()) {
     if (!parseMatrixSpec(Cli.getString("matrix"), Spec, Error))
@@ -207,6 +223,23 @@ int main(int Argc, char **Argv) {
     };
 
   ResultStore Store = runMatrix(Spec, Options);
+
+  if (Spec.Base.Inject.enabled()) {
+    uint64_t Injected = 0, Detected = 0, SbrkDenied = 0, Dropped = 0;
+    for (size_t I = 0; I != Store.size(); ++I) {
+      const CellOutcome &Cell = Store.cell(I);
+      if (!Cell.Ok)
+        continue;
+      Injected += Cell.Result.FaultsInjected;
+      Detected += Cell.Result.FaultsDetected;
+      SbrkDenied += Cell.Result.SbrkDenied;
+      Dropped += Cell.Result.DroppedEvents;
+    }
+    std::cerr << "fault injection: " << Injected << " injected, " << Detected
+              << " detected, " << SbrkDenied << " sbrk denials, " << Dropped
+              << " events dropped, " << Store.failedCount()
+              << " cells quarantined\n";
+  }
 
   if (!Cli.getString("out-json").empty() &&
       !writeStoreFile(Store, Cli.getString("out-json"), /*Csv=*/false))
