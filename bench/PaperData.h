@@ -5,46 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The paper's published Table 4 and Table 5 values (total estimated
-/// execution seconds / seconds waiting on cache misses, DECstation
-/// 5000/120), transcribed from the scanned text. Entries the scan corrupted
-/// beyond recovery are recorded as -1 and printed as "?".
-///
-/// Row order matches PaperAllocators (FirstFit, QuickFit, GnuG++, BSD,
-/// GnuLocal); column order matches PaperWorkloads (espresso, gs, ptc, gawk,
-/// make).
+/// Compatibility shim: the paper's published data points moved to
+/// src/conform/PaperPoints.h so the conformance engine (which gates on the
+/// claims those points encode) and the benchmark binaries (which print them
+/// next to measured values) share one transcription. Benches keep including
+/// this header.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALLOCSIM_BENCH_PAPERDATA_H
 #define ALLOCSIM_BENCH_PAPERDATA_H
 
-namespace allocsim {
-
-struct PaperTime {
-  double TotalSeconds;
-  double MissSeconds;
-};
-
-/// Table 4: 16-kilobyte direct-mapped cache.
-inline constexpr PaperTime PaperTable4[5][5] = {
-    // espresso        gs               ptc            gawk           make
-    {{199.67, 43.01}, {113.13, 29.11}, {-1, -1},      {-1, -1},      {-1, -1}},
-    {{192.16, 41.85}, {90.18, 12.22},  {24.84, 2.62}, {72.02, 12.12}, {3.57, 0.21}},
-    {{188.14, 34.94}, {91.38, 15.09},  {25.50, 2.82}, {77.25, 14.87}, {3.70, 0.27}},
-    {{184.80, 34.39}, {89.65, 14.65},  {24.93, 2.62}, {70.35, 10.14}, {3.55, 0.18}},
-    {{213.07, 35.40}, {100.74, 16.44}, {25.36, 2.57}, {89.25, 13.84}, {3.67, 0.13}},
-};
-
-/// Table 5: 64-kilobyte direct-mapped cache.
-inline constexpr PaperTime PaperTable5[5][5] = {
-    {{164.74, 8.08},  {-1, -1},       {24.16, 1.21}, {79.18, 3.27}, {3.69, 0.14}},
-    {{159.16, 8.85},  {81.29, 3.32},  {23.27, 1.04}, {61.83, 1.92}, {3.45, 0.08}},
-    {{163.74, 10.55}, {82.96, 6.67},  {23.83, 1.16}, {65.20, 2.82}, {3.53, 0.09}},
-    {{163.14, 12.72}, {78.95, 3.95},  {23.45, 1.15}, {62.40, 2.19}, {3.43, 0.06}},
-    {{185.33, 7.67},  {88.15, 3.85},  {23.77, 0.98}, {76.70, 1.29}, {3.60, 0.05}},
-};
-
-} // namespace allocsim
+#include "conform/PaperPoints.h"
 
 #endif // ALLOCSIM_BENCH_PAPERDATA_H

@@ -1,0 +1,189 @@
+//===- conform/Expectations.cpp - Committed expectation files -------------===//
+
+#include "conform/Expectations.h"
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace allocsim;
+
+namespace {
+
+/// Shortest-round-trip formatting: %.17g always round-trips a double, but
+/// prefer the shorter %.15g form when it already does, so files stay
+/// readable for the common case of few significant digits.
+std::string formatDouble(double Value) {
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.15g", Value);
+  if (std::strtod(Buffer, nullptr) != Value)
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  return Buffer;
+}
+
+} // namespace
+
+bool allocsim::readExpectationFile(const std::string &Path,
+                                   ExpectationFile &Out, std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Text;
+  Text << In.rdbuf();
+
+  JsonValue Root;
+  if (!JsonValue::parse(Text.str(), Root, Error)) {
+    Error = Path + ": " + Error;
+    return false;
+  }
+  if (!Root.isObject()) {
+    Error = Path + ": expected a JSON object";
+    return false;
+  }
+  const JsonValue *Schema = Root.get("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->stringValue() != ConformExpectationsSchema) {
+    Error = Path + ": missing or unexpected schema (want '" +
+            std::string(ConformExpectationsSchema) + "')";
+    return false;
+  }
+
+  Out = ExpectationFile();
+  const JsonValue *Suite = Root.get("suite");
+  if (!Suite || !Suite->isString()) {
+    Error = Path + ": missing string field 'suite'";
+    return false;
+  }
+  Out.Suite = Suite->stringValue();
+
+  const JsonValue *Scale = Root.get("scale");
+  if (!Scale || !Scale->isInteger()) {
+    Error = Path + ": missing integer field 'scale'";
+    return false;
+  }
+  Out.Scale = static_cast<uint32_t>(Scale->uintValue());
+
+  const JsonValue *Seed = Root.get("seed");
+  if (!Seed || !Seed->isInteger()) {
+    Error = Path + ": missing integer field 'seed'";
+    return false;
+  }
+  Out.Seed = Seed->uintValue();
+
+  const JsonValue *Band = Root.get("band_percent");
+  if (!Band || !Band->isNumber()) {
+    Error = Path + ": missing numeric field 'band_percent'";
+    return false;
+  }
+  Out.BandPercent = Band->numberValue();
+  if (!(Out.BandPercent >= 0)) {
+    Error = Path + ": band_percent must be non-negative";
+    return false;
+  }
+
+  const JsonValue *Metrics = Root.get("metrics");
+  if (!Metrics || !Metrics->isObject()) {
+    Error = Path + ": missing object field 'metrics'";
+    return false;
+  }
+  for (const auto &[Key, Value] : Metrics->object()) {
+    if (!Value.isNumber()) {
+      Error = Path + ": metric '" + Key + "' is not a number";
+      return false;
+    }
+    Out.Metrics[Key] = Value.numberValue();
+  }
+  return true;
+}
+
+bool allocsim::writeExpectationFile(const std::string &Path,
+                                    const ExpectationFile &File,
+                                    std::string &Error) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot write '" + Path + "'";
+    return false;
+  }
+  Out << "{\n";
+  Out << "  \"schema\": \"" << ConformExpectationsSchema << "\",\n";
+  Out << "  \"suite\": \"" << jsonEscaped(File.Suite) << "\",\n";
+  Out << "  \"scale\": " << File.Scale << ",\n";
+  Out << "  \"seed\": " << File.Seed << ",\n";
+  Out << "  \"band_percent\": " << formatDouble(File.BandPercent) << ",\n";
+  Out << "  \"metrics\": {";
+  bool First = true;
+  for (const auto &[Key, Value] : File.Metrics) {
+    Out << (First ? "\n" : ",\n");
+    First = false;
+    Out << "    \"" << jsonEscaped(Key) << "\": " << formatDouble(Value);
+  }
+  Out << (First ? "}\n" : "\n  }\n");
+  Out << "}\n";
+  Out.flush();
+  if (!Out) {
+    Error = "cannot write '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool allocsim::withinBand(double Expected, double Measured,
+                          double BandPercent) {
+  if (Expected == 0.0)
+    return Measured == 0.0;
+  double Relative = std::fabs(Measured - Expected) / std::fabs(Expected);
+  return Relative <= BandPercent / 100.0;
+}
+
+size_t allocsim::checkExpectations(const ExpectationFile &File,
+                                   const std::map<std::string, double>
+                                       &Measured,
+                                   uint32_t Scale, uint64_t Seed,
+                                   DiagEngine &Diags) {
+  if (Scale != File.Scale || Seed != File.Seed) {
+    Diags.warning("conform-expectation-scale", {},
+                  "suite '" + File.Suite + "' ran at scale " +
+                      std::to_string(Scale) + " seed " + std::to_string(Seed) +
+                      " but expectations were recorded at scale " +
+                      std::to_string(File.Scale) + " seed " +
+                      std::to_string(File.Seed) +
+                      "; value-band checks skipped (trend assertions still "
+                      "gate)");
+    return 0;
+  }
+
+  size_t Checked = 0;
+  for (const auto &[Key, Expected] : File.Metrics) {
+    auto It = Measured.find(Key);
+    if (It == Measured.end()) {
+      Diags.error("conform-expectation-keys", {},
+                  "expectation '" + Key +
+                      "' was not measured by suite '" + File.Suite +
+                      "' (stale expectation file? regenerate with "
+                      "ALLOCSIM_UPDATE_CONFORMANCE=1)");
+      continue;
+    }
+    ++Checked;
+    if (!withinBand(Expected, It->second, File.BandPercent))
+      Diags.error("conform-expectation-band", {},
+                  "metric '" + Key + "' = " + formatDouble(It->second) +
+                      " is outside the " + formatDouble(File.BandPercent) +
+                      "% band around the committed value " +
+                      formatDouble(Expected));
+  }
+  for (const auto &[Key, Value] : Measured) {
+    (void)Value;
+    if (!File.Metrics.count(Key))
+      Diags.error("conform-expectation-keys", {},
+                  "measured metric '" + Key +
+                      "' has no committed expectation (regenerate with "
+                      "ALLOCSIM_UPDATE_CONFORMANCE=1)");
+  }
+  return Checked;
+}

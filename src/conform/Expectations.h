@@ -1,0 +1,86 @@
+//===- conform/Expectations.h - Committed expectation files -----*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tolerance-band layer of the conformance engine. Trend assertions
+/// (TrendCheck.h) pin the *shape* of the replication; expectation files pin
+/// the *values*: every metric a suite measures is recorded in a committed
+/// JSON file (schema "allocsim-conform-expectations-v1") and later runs must
+/// land within a relative band of the recorded value. Because the simulator
+/// is deterministic, the committed values reproduce exactly on every
+/// platform and at every --jobs count — the band exists to flag *intentional*
+/// behavior drifts (an allocator change that moves miss rates) so they are
+/// re-recorded consciously rather than absorbed silently.
+///
+/// Update protocol: run with ALLOCSIM_UPDATE_CONFORMANCE=1 (mirroring the
+/// golden-matrix tests' ALLOCSIM_UPDATE_GOLDEN) to regenerate the files,
+/// then review the diff like any other golden change.
+///
+/// Scale independence: recorded values are only meaningful at the scale and
+/// seed they were recorded at. When a run's scale or seed differs (the
+/// weekly full-size replication run), band checks are skipped with a note
+/// and only the trend assertions gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_CONFORM_EXPECTATIONS_H
+#define ALLOCSIM_CONFORM_EXPECTATIONS_H
+
+#include "support/Diag.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace allocsim {
+
+/// Schema identifier written into every expectation file.
+inline constexpr const char *ConformExpectationsSchema =
+    "allocsim-conform-expectations-v1";
+
+/// Default relative tolerance band, in percent.
+inline constexpr double ConformDefaultBandPercent = 2.0;
+
+/// One committed expectation file: the run configuration it was recorded at
+/// and every metric value, keyed by MetricRef::key().
+struct ExpectationFile {
+  std::string Suite;
+  uint32_t Scale = 0;
+  uint64_t Seed = 0;
+  double BandPercent = ConformDefaultBandPercent;
+  std::map<std::string, double> Metrics;
+};
+
+/// Reads and validates an expectation file. Returns false with a diagnostic
+/// in \p Error on I/O failure, parse failure, or schema mismatch.
+bool readExpectationFile(const std::string &Path, ExpectationFile &Out,
+                         std::string &Error);
+
+/// Writes \p File deterministically (sorted keys, fixed number formatting,
+/// trailing newline) so regenerated files diff cleanly. Returns false with
+/// a diagnostic in \p Error when the path cannot be written.
+bool writeExpectationFile(const std::string &Path, const ExpectationFile &File,
+                          std::string &Error);
+
+/// True when \p Measured lies within \p File's relative band of
+/// \p Expected. Exact-zero expectations require exact-zero measurements
+/// (a relative band around zero is degenerate).
+bool withinBand(double Expected, double Measured, double BandPercent);
+
+/// Compares measured metrics against a committed file. When \p Scale or
+/// \p Seed differ from the file's recorded values, reports one
+/// conform-expectation-scale warning and checks nothing (trend assertions
+/// still gate such runs). Otherwise reports conform-expectation-band errors
+/// for out-of-band values and conform-expectation-keys errors for key-set
+/// mismatches in either direction. Returns the number of band comparisons
+/// performed.
+size_t checkExpectations(const ExpectationFile &File,
+                         const std::map<std::string, double> &Measured,
+                         uint32_t Scale, uint64_t Seed, DiagEngine &Diags);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_CONFORM_EXPECTATIONS_H

@@ -1,0 +1,274 @@
+//===- conform/TrendCheck.cpp - Declarative trend assertions --------------===//
+
+#include "conform/TrendCheck.h"
+
+#include <cstdio>
+
+using namespace allocsim;
+
+const char *allocsim::conformMetricName(ConformMetric Metric) {
+  switch (Metric) {
+  case ConformMetric::MissRate:
+    return "miss_rate";
+  case ConformMetric::CacheMisses:
+    return "cache_misses";
+  case ConformMetric::EstSeconds:
+    return "est_seconds";
+  case ConformMetric::AllocFraction:
+    return "alloc_fraction";
+  case ConformMetric::SearchPerOp:
+    return "search_per_op";
+  case ConformMetric::HeapKb:
+    return "heap_kb";
+  case ConformMetric::TagRefs:
+    return "tag_refs";
+  }
+  return "unknown";
+}
+
+bool allocsim::conformMetricUsesCache(ConformMetric Metric) {
+  switch (Metric) {
+  case ConformMetric::MissRate:
+  case ConformMetric::CacheMisses:
+  case ConformMetric::EstSeconds:
+    return true;
+  case ConformMetric::AllocFraction:
+  case ConformMetric::SearchPerOp:
+  case ConformMetric::HeapKb:
+  case ConformMetric::TagRefs:
+    return false;
+  }
+  return false;
+}
+
+double allocsim::extractConformMetric(const RunResult &Result,
+                                      ConformMetric Metric, size_t CacheIdx) {
+  switch (Metric) {
+  case ConformMetric::MissRate:
+    return Result.Caches.at(CacheIdx).Stats.missRate();
+  case ConformMetric::CacheMisses:
+    return static_cast<double>(Result.Caches.at(CacheIdx).Stats.Misses);
+  case ConformMetric::EstSeconds:
+    return Result.Caches.at(CacheIdx).Time.seconds();
+  case ConformMetric::AllocFraction:
+    return Result.allocInstrFraction();
+  case ConformMetric::SearchPerOp:
+    return Result.Alloc.MallocCalls == 0
+               ? 0.0
+               : static_cast<double>(Result.BlocksSearched) /
+                     static_cast<double>(Result.Alloc.MallocCalls);
+  case ConformMetric::HeapKb:
+    return static_cast<double>(Result.HeapBytes) / 1024.0;
+  case ConformMetric::TagRefs:
+    return static_cast<double>(Result.TagRefs);
+  }
+  return 0;
+}
+
+std::string MetricRef::key() const {
+  return Matrix + "/" + workloadName(Workload) + "/" +
+         allocatorKindName(Allocator) + "/p" +
+         std::to_string(PenaltyCycles) + "/c" + std::to_string(CacheIdx) +
+         "/" + conformMetricName(Metric);
+}
+
+namespace {
+
+/// Finds the coordinate indices a MetricRef names within one spec; returns
+/// false when any coordinate value is absent from the corresponding axis.
+bool findCell(const MatrixSpec &Spec, const MetricRef &Ref, size_t &W,
+              size_t &A, size_t &P) {
+  bool FoundW = false, FoundA = false, FoundP = false;
+  for (size_t I = 0; I != Spec.Workloads.size(); ++I)
+    if (Spec.Workloads[I] == Ref.Workload) {
+      W = I;
+      FoundW = true;
+      break;
+    }
+  for (size_t I = 0; I != Spec.Allocators.size(); ++I)
+    if (Spec.Allocators[I] == Ref.Allocator) {
+      A = I;
+      FoundA = true;
+      break;
+    }
+  for (size_t I = 0; I != Spec.PenaltiesCycles.size(); ++I)
+    if (Spec.PenaltiesCycles[I] == Ref.PenaltyCycles) {
+      P = I;
+      FoundP = true;
+      break;
+    }
+  return FoundW && FoundA && FoundP;
+}
+
+std::string formatMetric(double Value) {
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.6g", Value);
+  return Buffer;
+}
+
+} // namespace
+
+bool allocsim::resolveMetric(const StoreMap &Stores, const MetricRef &Ref,
+                             double &Value, DiagEngine &Diags) {
+  auto StoreIt = Stores.find(Ref.Matrix);
+  if (StoreIt == Stores.end() || StoreIt->second == nullptr) {
+    Diags.error("conform-missing-cell", {},
+                "no matrix named '" + Ref.Matrix + "' for metric " +
+                    Ref.key());
+    return false;
+  }
+  const ResultStore &Store = *StoreIt->second;
+  size_t W = 0, A = 0, P = 0;
+  if (!findCell(Store.spec(), Ref, W, A, P)) {
+    Diags.error("conform-missing-cell", {},
+                "matrix '" + Ref.Matrix + "' has no cell for metric " +
+                    Ref.key());
+    return false;
+  }
+  const CellOutcome &Cell = Store.at(W, A, P);
+  if (!Cell.Ok) {
+    Diags.error("conform-missing-cell", {},
+                "cell for metric " + Ref.key() + " failed: " + Cell.Error);
+    return false;
+  }
+  if (conformMetricUsesCache(Ref.Metric) &&
+      Ref.CacheIdx >= Cell.Result.Caches.size()) {
+    Diags.error("conform-missing-cell", {},
+                "cache index out of range for metric " + Ref.key());
+    return false;
+  }
+  Value = extractConformMetric(Cell.Result, Ref.Metric, Ref.CacheIdx);
+  return true;
+}
+
+size_t allocsim::checkOrdering(const StoreMap &Stores,
+                               const OrderingAssert &Assert,
+                               DiagEngine &Diags) {
+  size_t Checked = 0;
+  for (size_t I = 0; I + 1 < Assert.Ascending.size(); ++I) {
+    MetricRef Lo = Assert.Base, Hi = Assert.Base;
+    Lo.Allocator = Assert.Ascending[I];
+    Hi.Allocator = Assert.Ascending[I + 1];
+    double LoValue = 0, HiValue = 0;
+    if (!resolveMetric(Stores, Lo, LoValue, Diags) ||
+        !resolveMetric(Stores, Hi, HiValue, Diags))
+      continue;
+    ++Checked;
+    if (!(LoValue < HiValue))
+      Diags.error("conform-ordering", {},
+                  "ordering inverted: " + Lo.key() + " = " +
+                      formatMetric(LoValue) + " should be < " + Hi.key() +
+                      " = " + formatMetric(HiValue) + " (" + Assert.Note +
+                      ")");
+  }
+  return Checked;
+}
+
+size_t allocsim::checkMonotone(const StoreMap &Stores,
+                               const MonotoneAssert &Assert,
+                               DiagEngine &Diags) {
+  auto StoreIt = Stores.find(Assert.Base.Matrix);
+  if (StoreIt == Stores.end() || StoreIt->second == nullptr) {
+    Diags.error("conform-missing-cell", {},
+                "no matrix named '" + Assert.Base.Matrix +
+                    "' for monotone check " + Assert.Base.key());
+    return 0;
+  }
+  const MatrixSpec &Spec = StoreIt->second->spec();
+
+  // Materialize the series of refs along the chosen axis, in spec order.
+  std::vector<MetricRef> Series;
+  if (Assert.Along == MonotoneAssert::Axis::CacheSize) {
+    for (size_t C = 0; C != Spec.Caches.size(); ++C) {
+      MetricRef Ref = Assert.Base;
+      Ref.CacheIdx = C;
+      Series.push_back(Ref);
+    }
+  } else {
+    for (uint32_t Penalty : Spec.PenaltiesCycles) {
+      MetricRef Ref = Assert.Base;
+      Ref.PenaltyCycles = Penalty;
+      Series.push_back(Ref);
+    }
+  }
+
+  size_t Checked = 0;
+  double Prev = 0;
+  bool HavePrev = false;
+  std::string PrevKey;
+  for (const MetricRef &Ref : Series) {
+    double Value = 0;
+    if (!resolveMetric(Stores, Ref, Value, Diags)) {
+      HavePrev = false;
+      continue;
+    }
+    if (HavePrev) {
+      ++Checked;
+      bool Ok = Assert.Direction == MonotoneAssert::Dir::NonIncreasing
+                    ? Value <= Prev
+                    : Value >= Prev;
+      if (!Ok)
+        Diags.error(
+            "conform-monotone", {},
+            std::string("monotone trend broken (") +
+                (Assert.Direction == MonotoneAssert::Dir::NonIncreasing
+                     ? "expected non-increasing"
+                     : "expected non-decreasing") +
+                " along " +
+                (Assert.Along == MonotoneAssert::Axis::CacheSize
+                     ? "cache size"
+                     : "penalty") +
+                "): " + PrevKey + " = " + formatMetric(Prev) + " then " +
+                Ref.key() + " = " + formatMetric(Value) + " (" + Assert.Note +
+                ")");
+    }
+    Prev = Value;
+    PrevKey = Ref.key();
+    HavePrev = true;
+  }
+  return Checked;
+}
+
+const char *allocsim::pairCmpName(PairAssert::Cmp Relation) {
+  switch (Relation) {
+  case PairAssert::Cmp::LT:
+    return "<";
+  case PairAssert::Cmp::LE:
+    return "<=";
+  case PairAssert::Cmp::GT:
+    return ">";
+  case PairAssert::Cmp::GE:
+    return ">=";
+  }
+  return "?";
+}
+
+size_t allocsim::checkPair(const StoreMap &Stores, const PairAssert &Assert,
+                           DiagEngine &Diags) {
+  double Left = 0, Right = 0;
+  if (!resolveMetric(Stores, Assert.Left, Left, Diags) ||
+      !resolveMetric(Stores, Assert.Right, Right, Diags))
+    return 0;
+  bool Ok = false;
+  switch (Assert.Relation) {
+  case PairAssert::Cmp::LT:
+    Ok = Left < Right;
+    break;
+  case PairAssert::Cmp::LE:
+    Ok = Left <= Right;
+    break;
+  case PairAssert::Cmp::GT:
+    Ok = Left > Right;
+    break;
+  case PairAssert::Cmp::GE:
+    Ok = Left >= Right;
+    break;
+  }
+  if (!Ok)
+    Diags.error("conform-pair", {},
+                "comparison failed: " + Assert.Left.key() + " = " +
+                    formatMetric(Left) + " should be " +
+                    pairCmpName(Assert.Relation) + " " + Assert.Right.key() +
+                    " = " + formatMetric(Right) + " (" + Assert.Note + ")");
+  return 1;
+}

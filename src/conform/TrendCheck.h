@@ -1,0 +1,140 @@
+//===- conform/TrendCheck.h - Declarative trend assertions ------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The assertion layer of the conformance engine: declarative claims about
+/// an experiment matrix — "this allocator's miss rate is strictly below that
+/// one's", "this metric falls monotonically along the cache-size axis" —
+/// evaluated against MatrixRunner ResultStores and reported exhaustively
+/// through the DiagEngine, exactly like TraceLint findings. Rule ids
+/// (conform-ordering, conform-monotone, conform-pair, conform-missing-cell)
+/// are part of the tool contract.
+///
+/// Every assertion is pure data referencing cells by coordinate value
+/// (workload, allocator, penalty) rather than index, so suites stay readable
+/// and resolution failures are diagnosed instead of silently misindexing.
+/// Metrics are extracted from RunResult; all extraction is deterministic
+/// (integer counters or fixed IEEE arithmetic over them), so assertions use
+/// exact comparisons — a strict ordering that holds, holds bit-for-bit on
+/// every platform and at every --jobs count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_CONFORM_TRENDCHECK_H
+#define ALLOCSIM_CONFORM_TRENDCHECK_H
+
+#include "core/MatrixRunner.h"
+#include "support/Diag.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace allocsim {
+
+/// What to measure in one cell.
+enum class ConformMetric : uint8_t {
+  MissRate,      ///< Cache miss rate (per cache index).
+  CacheMisses,   ///< Raw miss count (per cache index; exact integer).
+  EstSeconds,    ///< Estimated execution seconds (per cache index).
+  AllocFraction, ///< Fraction of instructions spent in malloc/free.
+  SearchPerOp,   ///< Free-list blocks examined per malloc call.
+  HeapKb,        ///< Heap obtained from the (simulated) OS, in KB.
+  TagRefs,       ///< Boundary-tag references (Table 6's extra traffic).
+};
+
+/// Stable snake_case name used in reports and expectation keys.
+const char *conformMetricName(ConformMetric Metric);
+
+/// True when the metric is indexed by a cache configuration.
+bool conformMetricUsesCache(ConformMetric Metric);
+
+/// Extracts one metric from a run. \p CacheIdx is consulted only for
+/// cache-indexed metrics and must be in range then.
+double extractConformMetric(const RunResult &Result, ConformMetric Metric,
+                            size_t CacheIdx);
+
+/// Names one measured value: a matrix (suites may run several, e.g. Table
+/// 6's plain vs boundary-tag runs), a cell by coordinate value, a metric
+/// and its cache index.
+struct MetricRef {
+  std::string Matrix = "main";
+  WorkloadId Workload = WorkloadId::Espresso;
+  AllocatorKind Allocator = AllocatorKind::FirstFit;
+  uint32_t PenaltyCycles = 25;
+  ConformMetric Metric = ConformMetric::MissRate;
+  size_t CacheIdx = 0;
+
+  /// Deterministic expectation/report key, e.g.
+  /// "main/gs-small/FirstFit/p25/c0/miss_rate".
+  std::string key() const;
+};
+
+/// The named stores a suite produced, keyed by MetricRef::Matrix.
+using StoreMap = std::map<std::string, const ResultStore *>;
+
+/// Looks up the value a MetricRef names. Returns false (and reports
+/// conform-missing-cell into \p Diags) when the matrix, cell or cache index
+/// does not exist or the cell failed.
+bool resolveMetric(const StoreMap &Stores, const MetricRef &Ref,
+                   double &Value, DiagEngine &Diags);
+
+/// Asserts a strict ordering of one metric across allocators within one
+/// workload: value(Allocators[i]) < value(Allocators[i+1]) for every link.
+/// Allocators are listed best (lowest) to worst (highest).
+struct OrderingAssert {
+  /// The paper claim this encodes; quoted in findings.
+  std::string Note;
+  MetricRef Base;
+  std::vector<AllocatorKind> Ascending;
+};
+
+/// Asserts that one metric is monotone for a fixed (workload, allocator)
+/// cell along one matrix axis.
+struct MonotoneAssert {
+  enum class Axis : uint8_t {
+    CacheSize, ///< Across the cell's cache configurations, in spec order.
+    Penalty,   ///< Across the spec's penalty values, in spec order.
+  };
+  enum class Dir : uint8_t { NonIncreasing, NonDecreasing };
+
+  std::string Note;
+  /// Fixed coordinates; CacheIdx is the fixed cache when Along==Penalty,
+  /// PenaltyCycles the fixed penalty when Along==CacheSize.
+  MetricRef Base;
+  Axis Along = Axis::CacheSize;
+  Dir Direction = Dir::NonIncreasing;
+};
+
+/// Asserts a comparison between two arbitrary measured values (possibly in
+/// different matrices — how Table 6's "tags cost little but not nothing"
+/// claim compares the tagged run against the plain one).
+struct PairAssert {
+  enum class Cmp : uint8_t { LT, LE, GT, GE };
+
+  std::string Note;
+  MetricRef Left;
+  MetricRef Right;
+  Cmp Relation = Cmp::LT;
+};
+
+/// Renders "left < right"-style text for findings.
+const char *pairCmpName(PairAssert::Cmp Relation);
+
+/// Evaluation: each returns the number of elementary comparisons checked
+/// and reports every violation into \p Diags (rule conform-ordering /
+/// conform-monotone / conform-pair; resolution failures are
+/// conform-missing-cell). Nothing aborts: a suite reports all findings.
+size_t checkOrdering(const StoreMap &Stores, const OrderingAssert &Assert,
+                     DiagEngine &Diags);
+size_t checkMonotone(const StoreMap &Stores, const MonotoneAssert &Assert,
+                     DiagEngine &Diags);
+size_t checkPair(const StoreMap &Stores, const PairAssert &Assert,
+                 DiagEngine &Diags);
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_CONFORM_TRENDCHECK_H

@@ -1,0 +1,188 @@
+//===- tests/benchcommon_test.cpp - Bench harness + paper-data tests ------===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+// Coverage for the shared benchmark harness (bench/BenchCommon): the common
+// flag parsing, the PaperData transcription the benches print beside
+// measured values, and — via death tests — runBenchMatrix's fatal paths,
+// which previously had no test exercising them: a failed cell must die with
+// the cell's coordinates in the message, and an unwritable --out-json path
+// must die naming the path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "PaperData.h"
+
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace allocsim;
+
+namespace {
+
+std::optional<BenchOptions> parseArgs(std::vector<const char *> Argv) {
+  Argv.insert(Argv.begin(), "bench_test");
+  CommandLine Cli;
+  return parseBenchOptions(static_cast<int>(Argv.size()), Argv.data(), Cli);
+}
+
+//===----------------------------------------------------------------------===//
+// Common flag parsing
+//===----------------------------------------------------------------------===//
+
+TEST(BenchOptionsTest, DefaultsMatchDocumentation) {
+  std::optional<BenchOptions> Options = parseArgs({});
+  ASSERT_TRUE(Options.has_value());
+  EXPECT_EQ(Options->Scale, 8u);
+  EXPECT_EQ(Options->Seed, 1592932958u);
+  EXPECT_FALSE(Options->Csv);
+  EXPECT_EQ(Options->Jobs, 0u);
+  EXPECT_TRUE(Options->OutJson.empty());
+  EXPECT_EQ(Options->Telemetry, TelemetryLevel::Off);
+  EXPECT_TRUE(Options->OutTelemetryJson.empty());
+}
+
+TEST(BenchOptionsTest, FlagsOverrideDefaults) {
+  std::optional<BenchOptions> Options =
+      parseArgs({"--scale=16", "--seed=7", "--csv=true", "--jobs=2",
+                 "--out-json=matrix.json", "--telemetry=summary",
+                 "--out-telemetry-json=telemetry.json"});
+  ASSERT_TRUE(Options.has_value());
+  EXPECT_EQ(Options->Scale, 16u);
+  EXPECT_EQ(Options->Seed, 7u);
+  EXPECT_TRUE(Options->Csv);
+  EXPECT_EQ(Options->Jobs, 2u);
+  EXPECT_EQ(Options->OutJson, "matrix.json");
+  EXPECT_EQ(Options->Telemetry, TelemetryLevel::Summary);
+  EXPECT_EQ(Options->OutTelemetryJson, "telemetry.json");
+}
+
+TEST(BenchOptionsTest, BadTelemetryLevelIsRejected) {
+  EXPECT_FALSE(parseArgs({"--telemetry=verbose"}).has_value());
+}
+
+TEST(BenchOptionsTest, HelpExitsWithoutOptions) {
+  EXPECT_FALSE(parseArgs({"--help"}).has_value());
+}
+
+TEST(BenchOptionsTest, BaseConfigCarriesTheCommonKnobs) {
+  std::optional<BenchOptions> Options =
+      parseArgs({"--scale=32", "--seed=99", "--telemetry=full"});
+  ASSERT_TRUE(Options.has_value());
+  ExperimentConfig Config = baseConfig(WorkloadId::Gawk, *Options);
+  EXPECT_EQ(Config.Workload, WorkloadId::Gawk);
+  EXPECT_EQ(Config.Engine.Scale, 32u);
+  EXPECT_EQ(Config.Engine.Seed, 99u);
+  EXPECT_EQ(Config.Telemetry, TelemetryLevel::Full);
+}
+
+TEST(BenchOptionsTest, FormatRateUsesScientificNotation) {
+  EXPECT_EQ(formatRate(0.00123), "1.230e-03");
+  EXPECT_EQ(formatRate(0.0), "0.000e+00");
+}
+
+//===----------------------------------------------------------------------===//
+// The PaperData transcription (Tables 4 and 5)
+//===----------------------------------------------------------------------===//
+
+TEST(PaperDataTest, ScanGapsAreExactlyWhereDocumented) {
+  // Table 4 lost FIRSTFIT's ptc/gawk/make entries to the scan; Table 5
+  // lost FIRSTFIT's gs entry. Everything else is transcribed. Pinning the
+  // exact gap set means a transcription edit cannot silently drop a value.
+  size_t Unknown4 = 0, Unknown5 = 0;
+  for (int Row = 0; Row != 5; ++Row)
+    for (int Col = 0; Col != 5; ++Col) {
+      Unknown4 += PaperTable4[Row][Col].known() ? 0 : 1;
+      Unknown5 += PaperTable5[Row][Col].known() ? 0 : 1;
+    }
+  EXPECT_EQ(Unknown4, 3u);
+  EXPECT_EQ(Unknown5, 1u);
+  EXPECT_FALSE(PaperTable4[0][2].known()); // ptc
+  EXPECT_FALSE(PaperTable4[0][3].known()); // gawk
+  EXPECT_FALSE(PaperTable4[0][4].known()); // make
+  EXPECT_FALSE(PaperTable5[0][1].known()); // gs
+}
+
+TEST(PaperDataTest, MissSecondsAreASubsetOfTotalSeconds) {
+  for (int Row = 0; Row != 5; ++Row)
+    for (int Col = 0; Col != 5; ++Col)
+      for (const PaperTime &Entry :
+           {PaperTable4[Row][Col], PaperTable5[Row][Col]})
+        if (Entry.known()) {
+          EXPECT_GT(Entry.TotalSeconds, 0.0);
+          EXPECT_GE(Entry.MissSeconds, 0.0);
+          EXPECT_LT(Entry.MissSeconds, Entry.TotalSeconds);
+        }
+}
+
+TEST(PaperDataTest, SpotCheckAgainstThePublishedTables) {
+  // Corner values straight from the paper: Table 4 espresso/FIRSTFIT
+  // 199.67/43.01 and Table 5 make/GNU-local 3.60/0.05.
+  EXPECT_DOUBLE_EQ(PaperTable4[0][0].TotalSeconds, 199.67);
+  EXPECT_DOUBLE_EQ(PaperTable4[0][0].MissSeconds, 43.01);
+  EXPECT_DOUBLE_EQ(PaperTable5[4][4].TotalSeconds, 3.60);
+  EXPECT_DOUBLE_EQ(PaperTable5[4][4].MissSeconds, 0.05);
+}
+
+//===----------------------------------------------------------------------===//
+// runBenchMatrix: the happy path and both fatal paths
+//===----------------------------------------------------------------------===//
+
+BenchOptions tinyRunOptions() {
+  BenchOptions Options;
+  Options.Scale = 1024; // the smallest run the harness supports
+  Options.Jobs = 1;
+  return Options;
+}
+
+TEST(RunBenchMatrixTest, RunsAllPaperAllocatorsAndExportsJson) {
+  std::string OutPath = ::testing::TempDir() + "/benchcommon_matrix.json";
+  BenchOptions Options = tinyRunOptions();
+  Options.OutJson = OutPath;
+
+  ResultStore Store = runBenchMatrix({WorkloadId::Make}, {}, Options);
+  EXPECT_EQ(Store.size(), 5u);
+  EXPECT_EQ(Store.failedCount(), 0u);
+  EXPECT_EQ(Store.spec().Allocators.size(), 5u);
+
+  std::ifstream In(OutPath);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  JsonValue Root;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Text.str(), Root, Error)) << Error;
+  ASSERT_NE(Root.get("schema"), nullptr);
+  EXPECT_EQ(Root.get("schema")->stringValue(), "allocsim-matrix-v1");
+  std::remove(OutPath.c_str());
+}
+
+TEST(RunBenchMatrixTest, FailedCellDiesWithCellAttribution) {
+  BenchOptions Options = tinyRunOptions();
+  Options.Scale = 0; // fails cell validation: scale must be positive
+  EXPECT_DEATH(runBenchMatrix({WorkloadId::Make}, {}, Options),
+               "bench matrix cell failed: workload make, allocator "
+               "FirstFit: engine scale must be positive");
+}
+
+TEST(RunBenchMatrixTest, UnwritableJsonExportDiesNamingThePath) {
+  BenchOptions Options = tinyRunOptions();
+  Options.OutJson = "/nonexistent-dir/matrix.json";
+  EXPECT_DEATH(runBenchMatrix({WorkloadId::Make}, {}, Options),
+               "cannot write '/nonexistent-dir/matrix.json'");
+}
+
+TEST(RunBenchMatrixTest, UnwritableTelemetryExportDiesNamingThePath) {
+  BenchOptions Options = tinyRunOptions();
+  Options.OutTelemetryJson = "/nonexistent-dir/telemetry.json";
+  EXPECT_DEATH(runBenchMatrix({WorkloadId::Make}, {}, Options),
+               "cannot write '/nonexistent-dir/telemetry.json'");
+}
+
+} // namespace

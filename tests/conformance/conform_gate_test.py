@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Pins `allocsim_cli --conform`'s command-line contract: exit codes (0 =
+replication conforms, 1 = findings, 2 = usage error), the human PASS/FAIL
+report, the allocsim-conform-v1 JSON schema, and the expectation-file gate
+itself — a doctored committed value must fail the run, and a scale that
+differs from the recorded one must skip band checks with a warning instead
+of failing. CI's conform job and the weekly full-size replication run both
+build on exactly these behaviors.
+
+Registered in tests/conformance/CMakeLists.txt with the allocsim_cli binary
+path as argv[1] and the committed expectations directory as argv[2]; run
+through ctest (label: conform).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CLI_BIN = None  # set from argv[1] in __main__
+EXPECTATIONS_DIR = None  # set from argv[2] in __main__
+
+
+def run_conform(*args):
+    proc = subprocess.run(
+        [CLI_BIN, *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, proc.stdout
+
+
+class FullRunTest(unittest.TestCase):
+    def test_committed_expectations_pass(self):
+        # The complete gate: every suite, committed scale and seed, band
+        # checks armed. This is the invocation CI's conform job runs.
+        code, out = run_conform(
+            "--conform=true", "--expectations=%s" % EXPECTATIONS_DIR
+        )
+        self.assertEqual(code, 0, out)
+        self.assertIn("conform: PASS", out)
+        for suite in ("missrate", "exectime", "tags", "metamorphic"):
+            self.assertIn("conform: suite %s:" % suite, out)
+        self.assertIn(" 0 errors", out)
+
+
+class CheapPathsTest(unittest.TestCase):
+    """Contract points that only need the cheapest suite (tags) or no
+    simulation at all."""
+
+    def test_unknown_suite_fails_with_rule(self):
+        code, out = run_conform(
+            "--conform=true", "--conform-suite=bogus", "--expectations="
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("[conform-unknown-suite]", out)
+        self.assertIn("conform: FAIL", out)
+
+    def test_zero_scale_is_usage_error(self):
+        code, _ = run_conform("--conform=true", "--conform-scale=0")
+        self.assertEqual(code, 2)
+
+    def test_doctored_expectation_fails_the_gate(self):
+        # Perturb one committed value beyond the band: the run must exit 1
+        # and name the conform-expectation-band rule. This pins the
+        # acceptance property that a deliberate break cannot pass.
+        with tempfile.TemporaryDirectory() as tmpdir:
+            doctored = os.path.join(tmpdir, "tags.json")
+            shutil.copy(os.path.join(EXPECTATIONS_DIR, "tags.json"), doctored)
+            with open(doctored) as handle:
+                data = json.load(handle)
+            key = sorted(data["metrics"])[0]
+            data["metrics"][key] *= 1.10  # default band is 2%
+            with open(doctored, "w") as handle:
+                json.dump(data, handle)
+
+            code, out = run_conform(
+                "--conform=true",
+                "--conform-suite=tags",
+                "--expectations=%s" % tmpdir,
+            )
+            self.assertEqual(code, 1, out)
+            self.assertIn("[conform-expectation-band]", out)
+            self.assertIn(key, out)
+            self.assertIn("conform: FAIL", out)
+
+    def test_scale_mismatch_skips_bands_with_warning(self):
+        # The weekly full-size replication runs at a different scale: band
+        # checks are recorded-at-64 only, so they must be skipped with a
+        # warning while trend assertions still gate.
+        code, out = run_conform(
+            "--conform=true",
+            "--conform-suite=tags",
+            "--conform-scale=128",
+            "--expectations=%s" % EXPECTATIONS_DIR,
+        )
+        self.assertEqual(code, 0, out)
+        self.assertIn("[conform-expectation-scale]", out)
+        self.assertIn("conform: PASS", out)
+        self.assertIn(" 0 band checks", out)
+
+    def test_missing_expectation_file_fails(self):
+        with tempfile.TemporaryDirectory() as tmpdir:
+            code, out = run_conform(
+                "--conform=true",
+                "--conform-suite=tags",
+                "--expectations=%s" % tmpdir,
+            )
+            self.assertEqual(code, 1, out)
+            self.assertIn("[conform-expectation-file]", out)
+
+    def test_empty_expectations_dir_disables_bands(self):
+        code, out = run_conform(
+            "--conform=true", "--conform-suite=tags", "--expectations="
+        )
+        self.assertEqual(code, 0, out)
+        self.assertIn(" 0 band checks", out)
+        self.assertIn("conform: PASS", out)
+
+
+class JsonReportTest(unittest.TestCase):
+    def test_schema_and_shape(self):
+        code, out = run_conform(
+            "--conform-json=true",
+            "--conform-suite=tags",
+            "--expectations=%s" % EXPECTATIONS_DIR,
+        )
+        self.assertEqual(code, 0, out)
+        report = json.loads(out)
+        self.assertEqual(report["schema"], "allocsim-conform-v1")
+        self.assertEqual(report["scale"], 64)
+        self.assertEqual(report["seed"], 1592932958)
+        self.assertTrue(report["passed"])
+        self.assertEqual(report["errors"], 0)
+        self.assertEqual(report["diagnostics"], [])
+        (suite,) = report["suites"]
+        self.assertEqual(suite["name"], "tags")
+        self.assertGreater(suite["cells"], 0)
+        self.assertGreater(suite["trend_checks"], 0)
+        self.assertGreater(suite["band_checks"], 0)
+        self.assertEqual(suite["errors"], 0)
+
+    def test_failing_run_reports_diagnostics(self):
+        code, out = run_conform(
+            "--conform-json=true", "--conform-suite=bogus"
+        )
+        self.assertEqual(code, 1, out)
+        report = json.loads(out)
+        self.assertFalse(report["passed"])
+        (diag,) = report["diagnostics"]
+        self.assertEqual(diag["rule"], "conform-unknown-suite")
+        self.assertEqual(diag["severity"], "error")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 3:
+        sys.exit(
+            "usage: conform_gate_test.py <path-to-allocsim_cli> "
+            "<expectations-dir> [...]"
+        )
+    CLI_BIN = sys.argv.pop(1)
+    EXPECTATIONS_DIR = sys.argv.pop(1)
+    unittest.main(verbosity=2)

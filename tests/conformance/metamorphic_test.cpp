@@ -1,0 +1,65 @@
+//===- tests/conformance/metamorphic_test.cpp - Metamorphic invariants ----===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+// Drives the metamorphic invariant suite (conform/Metamorphic.h) at a
+// reduced workload scale so the whole property set — jobs invariance,
+// allocator-axis split/merge and permutation bit-identity, associativity-
+// doubling miss monotonicity, object-id relabeling invariance — runs in
+// seconds. The committed-configuration run (scale 64) is exercised by the
+// `allocsim_cli --conform` gate; these tests check that the invariants are
+// properties of the simulator, not of one scale or seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "conform/Metamorphic.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace allocsim;
+
+namespace {
+
+void expectCleanSuite(const MetamorphicOptions &Options) {
+  DiagEngine Diags;
+  size_t Checked = runMetamorphicSuite(Options, Diags);
+  // All five properties over the 2x5 base matrix: 2 jobs + 11 split/merge
+  // + 10 permute + 20 assoc-inclusion + 5 relabel elementary checks. A
+  // smaller count means a property silently skipped.
+  EXPECT_GE(Checked, 48u);
+  if (!Diags.clean()) {
+    std::ostringstream OS;
+    Diags.print(OS, "metamorphic");
+    FAIL() << "metamorphic invariants violated:\n" << OS.str();
+  }
+}
+
+TEST(MetamorphicSuite, HoldsAtTestScaleSerial) {
+  MetamorphicOptions Options;
+  Options.Scale = 256;
+  Options.Jobs = 1;
+  expectCleanSuite(Options);
+}
+
+TEST(MetamorphicSuite, HoldsWithParallelWorkers) {
+  // The jobs-invariance property compares the serial leg against a wide
+  // worker pool; the other properties all run at this job count too.
+  MetamorphicOptions Options;
+  Options.Scale = 256;
+  Options.Jobs = 8;
+  expectCleanSuite(Options);
+}
+
+TEST(MetamorphicSuite, HoldsAtADifferentSeed) {
+  // The invariants are transformation properties, not golden values: any
+  // seed must satisfy them.
+  MetamorphicOptions Options;
+  Options.Scale = 256;
+  Options.Seed = 0xDEC0DE;
+  Options.Jobs = 1;
+  expectCleanSuite(Options);
+}
+
+} // namespace

@@ -70,6 +70,17 @@ class CheckPerfBaselineTest(GateTestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("within tolerance", out)
 
+    def test_success_reports_measured_over_baseline_ratio(self):
+        # The per-config line and the success summary both carry the
+        # measured/baseline speedup ratio, so a green CI log still shows
+        # how much headroom is left before the floor.
+        base = self.write("base.json", perf_report(perf_config("c", 4.0)))
+        cur = self.write("cur.json", perf_report(perf_config("c", 3.0)))
+        code, out = run_gate(PERF_GATE, base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("ratio 0.750", out)
+        self.assertIn("ratio min 0.750, max 0.750", out)
+
     def test_speedup_exactly_at_floor_passes(self):
         # floor = 4.0 * (1 - 0.30) = 2.8; the comparison is >=, so exactly
         # 2.8 passes and anything below fails.

@@ -28,12 +28,14 @@
 
 #include "analyze/LintReport.h"
 #include "analyze/SpecLint.h"
+#include "conform/Conformance.h"
 #include "core/MatrixRunner.h"
 #include "inject/FaultPlan.h"
 #include "support/CommandLine.h"
 #include "support/SpecParse.h"
 #include "support/Table.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -127,8 +129,47 @@ int main(int Argc, char **Argv) {
               "running (0 clean, 1 findings, 2 usage error)");
   Cli.addFlag("lint-json", "false",
               "like --lint, but emit the allocsim-lint-v1 JSON report");
+  Cli.addFlag("conform", "false",
+              "run the paper-replication conformance suites and exit "
+              "without running a matrix (0 pass, 1 findings, 2 usage "
+              "error); set ALLOCSIM_UPDATE_CONFORMANCE=1 to re-record the "
+              "expectation files instead of checking them");
+  Cli.addFlag("conform-json", "false",
+              "like --conform, but emit the allocsim-conform-v1 JSON "
+              "report");
+  Cli.addFlag("conform-suite", "",
+              "comma-separated conformance suites to run (missrate, "
+              "exectime, tags, metamorphic); empty runs all");
+  Cli.addFlag("conform-scale", "64",
+              "workload scale divisor for the conformance suites; the "
+              "committed expectations are recorded at 64, other scales "
+              "run trend assertions only");
+  Cli.addFlag("expectations", "tests/conformance/expectations",
+              "directory of committed conformance expectation files; "
+              "empty disables value-band checks");
   if (!Cli.parse(Argc, Argv))
     return 2;
+
+  if (Cli.getBool("conform") || Cli.getBool("conform-json")) {
+    ConformOptions Conform;
+    for (const std::string &Name :
+         splitSpecList(Cli.getString("conform-suite"), ','))
+      Conform.Suites.push_back(Name);
+    Conform.Scale = static_cast<uint32_t>(Cli.getInt("conform-scale"));
+    if (Conform.Scale == 0)
+      return usageError("--conform-scale must be positive");
+    Conform.Seed = static_cast<uint64_t>(Cli.getInt("seed"));
+    Conform.Jobs = static_cast<unsigned>(Cli.getInt("jobs"));
+    Conform.ExpectationsDir = Cli.getString("expectations");
+    const char *Update = std::getenv("ALLOCSIM_UPDATE_CONFORMANCE");
+    Conform.UpdateExpectations = Update && *Update && *Update != '0';
+    ConformReport Report = runConformance(Conform);
+    if (Cli.getBool("conform-json"))
+      writeConformReportJson(std::cout, Report);
+    else
+      printConformReport(std::cout, Report);
+    return Report.passed() ? 0 : 1;
+  }
 
   if (Cli.getBool("lint") || Cli.getBool("lint-json")) {
     if (Cli.getString("matrix").empty())

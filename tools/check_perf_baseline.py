@@ -82,14 +82,18 @@ def main():
         )
 
     failed = False
+    ratios = []
     for name, base in sorted(baseline.items()):
         cur = current[name]
         floor = base["speedup"] * (1 - args.tolerance)
+        ratio = cur["speedup"] / base["speedup"]
+        ratios.append(ratio)
         verdict = "ok" if cur["speedup"] >= floor else "REGRESSED"
         failed |= verdict == "REGRESSED"
         print(
             f"{name:14s} baseline speedup {base['speedup']:.3f}  "
-            f"current {cur['speedup']:.3f}  floor {floor:.3f}  {verdict}"
+            f"current {cur['speedup']:.3f}  floor {floor:.3f}  "
+            f"ratio {ratio:.3f}  {verdict}"
         )
 
     if failed:
@@ -99,7 +103,11 @@ def main():
             file=sys.stderr,
         )
         return 1
-    print("check_perf_baseline: all configs within tolerance")
+    print(
+        "check_perf_baseline: all configs within tolerance "
+        f"(measured/baseline ratio min {min(ratios):.3f}, "
+        f"max {max(ratios):.3f})"
+    )
     return 0
 
 
