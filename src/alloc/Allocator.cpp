@@ -3,11 +3,13 @@
 #include "alloc/Allocator.h"
 
 #include "alloc/BestFit.h"
+#include "alloc/BitmapFit.h"
 #include "alloc/Bsd.h"
 #include "alloc/FirstFit.h"
 #include "alloc/GnuGxx.h"
 #include "alloc/GnuLocal.h"
 #include "alloc/QuickFit.h"
+#include "alloc/SpaceFit.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -36,6 +38,10 @@ const char *allocsim::allocatorKindName(AllocatorKind Kind) {
     return "Custom";
   case AllocatorKind::BestFit:
     return "BestFit";
+  case AllocatorKind::BitmapFit:
+    return "BitmapFit";
+  case AllocatorKind::SpaceFit:
+    return "SpaceFit";
   }
   unreachable("unknown allocator kind");
 }
@@ -59,6 +65,10 @@ bool allocsim::tryParseAllocatorKind(const std::string &Name,
     Kind = AllocatorKind::Custom;
   else if (Lower == "bestfit" || Lower == "best-fit")
     Kind = AllocatorKind::BestFit;
+  else if (Lower == "bitmapfit" || Lower == "bitmap-fit")
+    Kind = AllocatorKind::BitmapFit;
+  else if (Lower == "spacefit" || Lower == "space-fit")
+    Kind = AllocatorKind::SpaceFit;
   else
     return false;
   return true;
@@ -168,6 +178,10 @@ allocsim::createAllocator(AllocatorKind Kind, SimHeap &Heap, CostModel &Cost) {
         "directly");
   case AllocatorKind::BestFit:
     return std::make_unique<BestFit>(Heap, Cost);
+  case AllocatorKind::BitmapFit:
+    return std::make_unique<BitmapFit>(Heap, Cost);
+  case AllocatorKind::SpaceFit:
+    return std::make_unique<SpaceFit>(Heap, Cost);
   }
   unreachable("unknown allocator kind");
 }

@@ -41,6 +41,8 @@ enum class AllocatorKind {
   QuickFit, ///< Weinstock/Wulf exact-size fast lists + general backend.
   Custom,   ///< Profile-synthesized QuickFit-style allocator (Section 4.4).
   BestFit,  ///< Extension: exhaustive best fit (the paper's "best-fit, etc").
+  BitmapFit, ///< Extension: cache-line bitmap fit (Matani & Menghani 2021).
+  SpaceFit, ///< Extension: head-first best fit w/ space-fitting (Hakarsa 2024).
 };
 
 /// All paper allocators, in the paper's presentation order.

@@ -1,0 +1,184 @@
+//===- alloc/BitmapFit.cpp - Cache-line bitmap-fit allocator --------------===//
+
+#include "alloc/BitmapFit.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace allocsim;
+
+BitmapFit::BitmapFit(SimHeap &AllocHeap, CostModel &AllocCost)
+    : Allocator(AllocHeap, AllocCost), General(AllocHeap, AllocCost) {
+  // Static area: bucket slab-list heads (sbrk memory is zero-filled, so
+  // every list starts empty) and the initial slab map, all carved with the
+  // fatal sbrk before any FaultLab soft limit applies — a capacity-0 OOM
+  // sweep must see construction succeed and every malloc fail.
+  BucketHeads = Heap.sbrk(4 * NumBuckets);
+  MapCapacity = 64;
+  MapAddr = Heap.sbrk(4 * MapCapacity);
+}
+
+bool BitmapFit::growMap(uint32_t MinSlabs) {
+  uint32_t NewCapacity = MapCapacity * 2;
+  if (NewCapacity < MinSlabs + 64)
+    NewCapacity = MinSlabs + 64;
+
+  charge(24); // realloc bookkeeping + sbrk overhead.
+  Addr NewMap = 0;
+  if (!Heap.trySbrk(4 * NewCapacity, NewMap))
+    return false;
+  if (MapGrowsProbe)
+    MapGrowsProbe->add();
+
+  // Copy live entries; the realloc-and-copy is real traffic, like
+  // GnuLocal's descriptor table. New entries read as sbrk's zero fill
+  // (= "not a slab"). The old map's words are simply abandoned.
+  for (uint32_t I = 0; I != MapCapacity; ++I)
+    store(NewMap + 4 * I, load(MapAddr + 4 * I));
+  charge(2 * MapCapacity);
+
+  MapAddr = NewMap;
+  MapCapacity = NewCapacity;
+  // Keep the shadow's metadata annotation covering the zero-filled tail
+  // that the copy loop's stores did not touch (no-op when no shadow).
+  noteMetadata(MapAddr, 4 * MapCapacity);
+  return true;
+}
+
+Addr BitmapFit::newSlab(unsigned Bucket) {
+  for (;;) {
+    // Align the break to a slab boundary; the padding bytes are dead space
+    // between regions, never handed out.
+    uint32_t Offset = (Heap.brk() - Heap.base()) & (SlabBytes - 1);
+    uint32_t Pad = Offset == 0 ? 0 : SlabBytes - Offset;
+    uint32_t Index = slabIndexOf(Heap.brk() + Pad);
+
+    if (Index >= MapCapacity) {
+      // Growing the map moves the break; retry the alignment math.
+      if (!growMap(Index + 1))
+        return 0;
+      continue;
+    }
+
+    charge(24); // sbrk overhead.
+    Addr Region = 0;
+    if (!Heap.trySbrk(Pad + SlabBytes, Region))
+      return 0;
+    Addr Slab = Region + Pad;
+    assert(slabIndexOf(Slab) == Index && "slab alignment drifted");
+    if (SlabCarvesProbe)
+      SlabCarvesProbe->add();
+
+    // Register, then initialize the header line and link at the bucket
+    // list head. All slots free: bitmap zero except the permanent 1s past
+    // the last real slot, which the word scan must never pick.
+    store(MapAddr + 4 * Index, Bucket + 1);
+    store(Slab + 0, slabHeaderWord(Bucket));
+    store(Slab + 4, 0);
+    uint32_t Slots = slotsPerSlab(Bucket);
+    for (unsigned W = 0; W != BitmapWords; ++W) {
+      uint32_t FirstBit = 32 * W;
+      uint32_t Word;
+      if (Slots >= FirstBit + 32)
+        Word = 0;
+      else if (Slots <= FirstBit)
+        Word = ~0u;
+      else
+        Word = ~((1u << (Slots - FirstBit)) - 1);
+      store(Slab + 16 + 4 * W, Word);
+    }
+    charge(8);
+    Addr Head = load(bucketHeadSlot(Bucket));
+    store(Slab + 8, Head);
+    store(Slab + 12, 0);
+    store(bucketHeadSlot(Bucket), Slab);
+    return Slab;
+  }
+}
+
+Addr BitmapFit::mallocSmall(unsigned Bucket) {
+  // First slab of the bucket with a free slot; the walk touches only slab
+  // header lines.
+  uint32_t Slots = slotsPerSlab(Bucket);
+  uint32_t Used = 0;
+  Addr Slab = load(bucketHeadSlot(Bucket));
+  while (Slab != 0) {
+    ++SlabsExamined;
+    charge(2);
+    Used = load(Slab + 4);
+    if (Used < Slots)
+      break;
+    Slab = load(Slab + 8);
+  }
+  if (Slab == 0) {
+    Slab = newSlab(Bucket);
+    if (Slab == 0)
+      return 0; // OOM: lists, map and bitmaps are untouched.
+    Used = 0;
+  }
+
+  // Word-at-a-time scan for the first word with a clear bit; the lowest
+  // clear bit of that word is the lowest free slot of the slab.
+  unsigned W = 0;
+  uint32_t Word = 0;
+  for (;; ++W) {
+    assert(W != BitmapWords && "used count says free but bitmap is full");
+    if (ScanWordsProbe)
+      ScanWordsProbe->add();
+    Word = load(Slab + 16 + 4 * W);
+    if (Word != ~0u)
+      break;
+  }
+  charge(3); // find-first-zero.
+  unsigned Bit = static_cast<unsigned>(std::countr_one(Word));
+  uint32_t Slot = 32 * W + Bit;
+  assert(Slot < Slots && "scan picked a nonexistent slot");
+  store(Slab + 16 + 4 * W, Word | (1u << Bit));
+  store(Slab + 4, Used + 1);
+  charge(2);
+  return Slab + SlabHeaderBytes + Slot * slotBytes(Bucket);
+}
+
+Addr BitmapFit::doMalloc(uint32_t Size) {
+  if (Size > MaxSingleBytes) {
+    if (ClassMissesProbe)
+      ClassMissesProbe->add();
+    charge(4); // dispatch test.
+    return General.malloc(Size);
+  }
+  charge(6); // call overhead + line rounding.
+  unsigned Bucket = (Size + LineBytes - 1) / LineBytes - 1;
+  if (ClassHitsProbe)
+    ClassHitsProbe->add();
+  if (ClassIndexHist)
+    ClassIndexHist->record(Bucket);
+  return mallocSmall(Bucket);
+}
+
+void BitmapFit::doFree(Addr Ptr) {
+  charge(6); // slab-index math + map probe.
+  uint32_t Index = slabIndexOf(Ptr);
+  uint32_t Entry = Index < MapCapacity ? load(MapAddr + 4 * Index) : 0;
+  if (Entry == 0) {
+    General.free(Ptr);
+    return;
+  }
+
+  unsigned Bucket = Entry - 1;
+  assert(Bucket < NumBuckets && "corrupt slab-map entry");
+  Addr Slab = slabAddr(Index);
+  uint32_t Offset = Ptr - Slab - SlabHeaderBytes;
+  assert(Offset % slotBytes(Bucket) == 0 && "free of misaligned slab slot");
+  uint32_t Slot = Offset / slotBytes(Bucket);
+  unsigned W = Slot >> 5;
+  unsigned Bit = Slot & 31;
+  uint32_t Word = load(Slab + 16 + 4 * W);
+  assert(((Word >> Bit) & 1) != 0 && "freeing an already-free slot");
+  store(Slab + 16 + 4 * W, Word & ~(1u << Bit));
+  uint32_t Used = load(Slab + 4);
+  assert(Used > 0 && "used count underflow");
+  store(Slab + 4, Used - 1);
+  charge(4);
+  // Slabs are never returned to the pool: the map stays valid for the
+  // slab's whole life and a refilled bucket reuses its lowest free slots.
+}

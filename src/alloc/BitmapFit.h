@@ -1,0 +1,152 @@
+//===- alloc/BitmapFit.h - Cache-line bitmap-fit allocator ------*- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fast Bitmap Fit (Matani & Menghani 2021): a cache-line-conscious
+/// allocator for single-object allocations. Requests up to MaxSingleBytes
+/// are rounded up to a whole number of cache lines and served from slabs of
+/// fixed-size, line-aligned slots; a per-slab bitmap records slot
+/// occupancy, and allocation scans it a word at a time for the first word
+/// with a clear bit — 32 slots tested per memory reference, with all the
+/// allocator's bookkeeping packed into one header line per slab instead of
+/// boundary tags interleaved with user data (the cache-pollution effect the
+/// 1993 paper's Table 6 measures).
+///
+/// Slab format (SlabBytes, aligned to a heap-relative slab boundary):
+///
+///        +0   magic | bucket index
+///        +4   used-slot count
+///        +8   next slab in this bucket's list (0 = end)
+///        +12  spare (always 0)
+///        +16  bitmap, BitmapWords words; bit = 1 means slot in use,
+///             bits past the last real slot are permanently 1
+///        +32  slots: SlotsPerSlab objects of (bucket+1) cache lines each
+///
+/// Deallocation finds the owning slab in O(1) through a compact per-slab
+/// map (one word per SlabBytes of heap, grown by realloc-and-copy like
+/// GnuLocal's descriptor table): a zero entry means the address belongs to
+/// the nested general allocator, which serves every request above
+/// MaxSingleBytes — the hybrid dispatch QuickFit also uses, with the same
+/// telemetry/shadow forwarding ("<prefix>.general").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ALLOC_BITMAPFIT_H
+#define ALLOCSIM_ALLOC_BITMAPFIT_H
+
+#include "alloc/Allocator.h"
+#include "alloc/GnuGxx.h"
+
+namespace allocsim {
+
+/// Cache-line-bucketed bitmap fit with a GNU G++ backend for large requests.
+class BitmapFit final : public Allocator {
+public:
+  BitmapFit(SimHeap &Heap, CostModel &Cost);
+
+  AllocatorKind kind() const override { return AllocatorKind::BitmapFit; }
+
+  /// One slot granule: the simulated cache line.
+  static constexpr uint32_t LineBytes = 32;
+  /// Buckets serve 1..NumBuckets whole lines (32..512 bytes).
+  static constexpr unsigned NumBuckets = 16;
+  /// Largest request served from the bitmap slabs.
+  static constexpr uint32_t MaxSingleBytes = NumBuckets * LineBytes;
+  /// Slab granule; also the slab-map granule.
+  static constexpr uint32_t SlabBytes = 4096;
+  static constexpr uint32_t SlabShift = 12;
+  /// Header line: 4 bookkeeping words + the bitmap.
+  static constexpr uint32_t SlabHeaderBytes = 32;
+  static constexpr unsigned BitmapWords = 4;
+
+  /// Slab header word 0: magic in the high half, bucket in the low.
+  static uint32_t slabHeaderWord(unsigned Bucket) {
+    return 0xB17F0000u | Bucket;
+  }
+
+  static uint32_t slotBytes(unsigned Bucket) {
+    return (Bucket + 1) * LineBytes;
+  }
+  static uint32_t slotsPerSlab(unsigned Bucket) {
+    return (SlabBytes - SlabHeaderBytes) / slotBytes(Bucket);
+  }
+
+  /// Slabs examined across all bucket-list searches.
+  uint64_t blocksSearched() const override { return SlabsExamined; }
+
+  /// Introspection for the HeapCheck invariant walker.
+  Addr bucketHeadSlot(unsigned Bucket) const {
+    return BucketHeads + 4 * Bucket;
+  }
+  Addr slabMapAddr() const { return MapAddr; }
+  uint32_t slabMapCapacity() const { return MapCapacity; }
+  const GnuGxx &generalBackend() const { return General; }
+
+private:
+  Addr doMalloc(uint32_t Size) override;
+  void doFree(Addr Ptr) override;
+
+  /// Serves one slot of \p Bucket (0 on OOM).
+  Addr mallocSmall(unsigned Bucket);
+
+  /// Carves, registers and links a fresh slab for \p Bucket; returns 0 —
+  /// with every structure untouched — on heap exhaustion.
+  Addr newSlab(unsigned Bucket);
+
+  /// Grows the slab map to cover at least \p MinSlabs slab indices,
+  /// copying live entries. Returns false — old map intact — on exhaustion.
+  bool growMap(uint32_t MinSlabs);
+
+  uint32_t slabIndexOf(Addr Address) const {
+    return (Address - Heap.base()) >> SlabShift;
+  }
+  Addr slabAddr(uint32_t Index) const {
+    return Heap.base() + (Index << SlabShift);
+  }
+
+  void onShadowAttached() override {
+    noteMetadata(BucketHeads, 4 * NumBuckets);
+    noteMetadata(MapAddr, 4 * MapCapacity);
+    General.attachShadow(shadowObserver());
+  }
+
+  void onTelemetryAttached() override {
+    ScanWordsProbe = counterProbe("bitmap.scan_words");
+    SlabCarvesProbe = counterProbe("bitmap.slab_carves");
+    MapGrowsProbe = counterProbe("bitmap.map_grows");
+    ClassHitsProbe = counterProbe("class_hits");
+    ClassMissesProbe = counterProbe("class_misses");
+    ClassIndexHist = histogramProbe("class_index");
+    General.attachTelemetry(telemetry(), telemetryPrefix() + ".general");
+  }
+
+  /// Static area: NumBuckets slab-list head words.
+  Addr BucketHeads = 0;
+
+  /// Current slab map (reallocated on growth).
+  Addr MapAddr = 0;
+  uint32_t MapCapacity = 0;
+
+  /// General allocator for requests above MaxSingleBytes.
+  GnuGxx General;
+
+  uint64_t SlabsExamined = 0;
+
+  /// Telemetry probes; null when telemetry is off. A "class hit" is a
+  /// malloc served from the bitmap slabs, a "miss" a delegation to the
+  /// general backend, so hits + misses == mallocs; scan_words counts
+  /// bitmap words examined (the paper's word-at-a-time search cost).
+  TelemetryCounter *ScanWordsProbe = nullptr;
+  TelemetryCounter *SlabCarvesProbe = nullptr;
+  TelemetryCounter *MapGrowsProbe = nullptr;
+  TelemetryCounter *ClassHitsProbe = nullptr;
+  TelemetryCounter *ClassMissesProbe = nullptr;
+  TelemetryHistogram *ClassIndexHist = nullptr;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ALLOC_BITMAPFIT_H

@@ -1,0 +1,52 @@
+//===- alloc/SpaceFit.cpp - Head-first best fit with space-fitting --------===//
+
+#include "alloc/SpaceFit.h"
+
+using namespace allocsim;
+
+SpaceFit::SpaceFit(SimHeap &AllocHeap, CostModel &AllocCost)
+    : CoalescingAllocator(AllocHeap, AllocCost) {
+  Sentinel = makeSentinel();
+}
+
+void SpaceFit::onTelemetryAttached() {
+  CoalescingAllocator::onTelemetryAttached();
+  InsertWalkHist = histogramProbe("spacefit.search_len");
+}
+
+std::pair<Addr, uint32_t> SpaceFit::findFit(uint32_t Need) {
+  // The list is sorted ascending by (size, address), so the first
+  // sufficient node is the tightest fit; when the head itself fits, the
+  // allocation is O(1).
+  for (Addr Node = load(Sentinel + 4); Node != Sentinel;
+       Node = load(Node + 4)) {
+    ++BlocksExamined;
+    charge(2); // compare against the request.
+    uint32_t Tag = readHeader(Node);
+    assert(!tagAllocated(Tag) && "allocated block on freelist");
+    uint32_t Size = tagSize(Tag);
+    if (Size >= Need)
+      return {Node, Size};
+  }
+  return {0, 0};
+}
+
+void SpaceFit::insertFree(Addr Block, uint32_t Size) {
+  // Ordered insert: walk to the last node that still sorts before the new
+  // block. Ties break by address so equal-size runs stay address ordered
+  // and the whole order is total (bit-identical at any job count).
+  uint64_t Walked = 0;
+  Addr Prev = Sentinel;
+  for (Addr Node = load(Sentinel + 4); Node != Sentinel;
+       Node = load(Node + 4)) {
+    ++Walked;
+    charge(3); // size compare + tie break.
+    uint32_t NodeSize = tagSize(readHeader(Node));
+    if (NodeSize > Size || (NodeSize == Size && Node > Block))
+      break;
+    Prev = Node;
+  }
+  if (InsertWalkHist)
+    InsertWalkHist->record(Walked);
+  linkAfter(Prev, Block);
+}

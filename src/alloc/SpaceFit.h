@@ -1,0 +1,68 @@
+//===- alloc/SpaceFit.h - Head-first best fit with space-fitting *- C++ -*-===//
+//
+// Part of allocsim (PLDI 1993 cache-locality-of-malloc reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Head-first best fit with space-fitting splits (Hakarsa 2024, "Head-First
+/// Memory Allocation on Best-Fit with Space-Fitting"). A modern sequential-
+/// fit comparison point for the paper's locality claim: classic best fit is
+/// space-optimal but slow because every allocation rescans the whole list.
+/// Keeping the free list sorted by (size, address) moves that work to
+/// deallocation time — the tightest fit for any request is the *first*
+/// sufficient node from the head, so an allocation that the head satisfies
+/// completes in O(1) ("head-first") while the insert position of a freed
+/// block is found by one ordered walk.
+///
+/// "Space-fitting" is the split discipline: a fitting block is split
+/// whenever the remainder is a legal block at all (MinBlockBytes), rather
+/// than first fit's larger splinter threshold — the space-optimal choice
+/// the scheme is named for.
+///
+/// Identical block format and coalescing to FirstFit/BestFit (boundary
+/// tags, doubly-linked free list); only the list discipline differs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOCSIM_ALLOC_SPACEFIT_H
+#define ALLOCSIM_ALLOC_SPACEFIT_H
+
+#include "alloc/CoalescingAllocator.h"
+
+namespace allocsim {
+
+/// Best fit over one (size, address)-sorted freelist, head-first.
+class SpaceFit final : public CoalescingAllocator {
+public:
+  SpaceFit(SimHeap &Heap, CostModel &Cost);
+
+  AllocatorKind kind() const override { return AllocatorKind::SpaceFit; }
+
+  uint64_t blocksSearched() const override { return BlocksExamined; }
+
+  /// Introspection for the HeapCheck invariant walker, which additionally
+  /// verifies the (size, address) sort discipline.
+  Addr freelistSentinel() const { return Sentinel; }
+
+private:
+  std::pair<Addr, uint32_t> findFit(uint32_t Need) override;
+  void insertFree(Addr Block, uint32_t Size) override;
+  uint64_t callOverhead() const override { return 12; }
+  /// Space-fitting: split whenever the remainder is a legal block.
+  uint32_t minSplitBytes() const override { return MinBlockBytes; }
+
+  void onTelemetryAttached() override;
+
+  Addr Sentinel;
+  uint64_t BlocksExamined = 0;
+
+  /// Nodes walked to find a freed block's sorted position — the cost best
+  /// fit pays at free time instead of malloc time. Null when telemetry is
+  /// off or below full level.
+  TelemetryHistogram *InsertWalkHist = nullptr;
+};
+
+} // namespace allocsim
+
+#endif // ALLOCSIM_ALLOC_SPACEFIT_H

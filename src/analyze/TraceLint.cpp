@@ -2,6 +2,8 @@
 
 #include "analyze/TraceLint.h"
 
+#include "alloc/BitmapFit.h"
+
 #include <algorithm>
 #include <ostream>
 #include <unordered_map>
@@ -73,6 +75,7 @@ TracePredictions allocsim::predictTrace(const TraceModel &Model) {
   // Event-kind counts and application reference volume come straight off
   // the stream; live-bytes/objects trajectories need the running walk.
   TelemetryHistogram RequestSizes;
+  TelemetryHistogram LineClassDemand;
   uint64_t LiveBytes = 0, LiveObjects = 0;
   std::unordered_map<uint32_t, uint32_t> LiveSizes;
   for (const LocatedAllocEvent &Located : Model.Events) {
@@ -82,6 +85,14 @@ TracePredictions allocsim::predictTrace(const TraceModel &Model) {
       ++P.MallocCalls;
       P.BytesRequested += Event.Amount;
       RequestSizes.record(Event.Amount);
+      if (Event.Amount <= BitmapFit::MaxSingleBytes) {
+        ++P.LineClassMallocs;
+        LineClassDemand.record((Event.Amount + BitmapFit::LineBytes - 1) /
+                                   BitmapFit::LineBytes -
+                               1);
+      } else {
+        ++P.DelegatedMallocs;
+      }
       LiveBytes += Event.Amount;
       ++LiveObjects;
       P.MaxLiveBytes = std::max(P.MaxLiveBytes, LiveBytes);
@@ -113,6 +124,7 @@ TracePredictions allocsim::predictTrace(const TraceModel &Model) {
   P.FinalLiveBytes = LiveBytes;
   P.FinalLiveObjects = LiveObjects;
   P.RequestSizes = RequestSizes.snapshot();
+  P.LineClassDemand = LineClassDemand.snapshot();
 
   // Object lifetimes on the event clock, straight from the IR intervals;
   // leaked objects have no death and are never recorded — exactly the
@@ -144,5 +156,10 @@ void allocsim::writeTracePredictionsJson(std::ostream &OS,
   writeHistogramJson(OS, P.RequestSizes);
   OS << ",\n" << Indent << " \"obj_lifetime\": ";
   writeHistogramJson(OS, P.Lifetimes);
+  OS << ",\n"
+     << Indent << " \"line_class_mallocs\": " << P.LineClassMallocs << ",\n";
+  OS << Indent << " \"delegated_mallocs\": " << P.DelegatedMallocs << ",\n";
+  OS << Indent << " \"line_class_demand\": ";
+  writeHistogramJson(OS, P.LineClassDemand);
   OS << "\n" << Indent << "}";
 }

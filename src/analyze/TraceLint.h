@@ -114,6 +114,17 @@ struct TracePredictions {
   /// == telemetry histogram "driver.obj_lifetime" (leaked objects are
   /// never recorded, on either side).
   HistogramSnapshot Lifetimes;
+  /// Cache-line size-class demand: how the request stream lands on
+  /// BitmapFit's line-granular buckets (requests of up to
+  /// BitmapFit::MaxSingleBytes round up to whole 32-byte lines; larger
+  /// ones delegate to the general backend). Statically predictable
+  /// because the dispatch depends only on the requested size:
+  /// LineClassMallocs == counter "alloc.class_hits", DelegatedMallocs ==
+  /// counter "alloc.class_misses", and LineClassDemand == histogram
+  /// "alloc.class_index", all under AllocatorKind::BitmapFit.
+  uint64_t LineClassMallocs = 0;
+  uint64_t DelegatedMallocs = 0;
+  HistogramSnapshot LineClassDemand;
 };
 
 /// Parses and validates one script: every syntactic and semantic finding

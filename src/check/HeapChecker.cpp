@@ -3,15 +3,18 @@
 #include "check/HeapChecker.h"
 
 #include "alloc/BestFit.h"
+#include "alloc/BitmapFit.h"
 #include "alloc/Bsd.h"
 #include "alloc/CustomAlloc.h"
 #include "alloc/FirstFit.h"
 #include "alloc/GnuGxx.h"
 #include "alloc/GnuLocal.h"
 #include "alloc/QuickFit.h"
+#include "alloc/SpaceFit.h"
 #include "support/Error.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -204,6 +207,43 @@ public:
 
 private:
   const BestFit &Alloc;
+};
+
+class SpaceFitChecker final : public HeapChecker {
+public:
+  explicit SpaceFitChecker(const SpaceFit &A) : Alloc(A) {}
+
+  const char *allocatorName() const override { return Alloc.name(); }
+
+  void check(CheckContext &Ctx) const override {
+    std::unordered_set<Addr> Visited;
+    FreeListWalk Walk(Ctx, Alloc.heap(), Alloc.name(), Visited);
+    Walk.walk(Alloc.freelistSentinel(), "freelist");
+
+    // The space-fitting discipline: the list is totally ordered by
+    // (size, address), so the head is always the smallest free block and
+    // findFit's first sufficient node is the tightest fit. The walk above
+    // already validated every listed node's tags.
+    const SimHeap &Heap = Alloc.heap();
+    uint32_t PrevSize = 0;
+    Addr PrevNode = 0;
+    for (Addr Node : Walk.nodes()) {
+      uint32_t Size = CoalescingAllocator::tagSize(Heap.peek32(Node));
+      if (Size < PrevSize || (Size == PrevSize && Node < PrevNode)) {
+        reportTo(Ctx, Alloc.name(), ViolationKind::FreelistCorrupt, Node,
+                 "size-sorted freelist is out of order: block of " +
+                     std::to_string(Size) + " bytes at " + hexAddr(Node) +
+                     " follows block of " + std::to_string(PrevSize) +
+                     " bytes at " + hexAddr(PrevNode));
+        break;
+      }
+      PrevSize = Size;
+      PrevNode = Node;
+    }
+  }
+
+private:
+  const SpaceFit &Alloc;
 };
 
 class GnuGxxChecker final : public HeapChecker {
@@ -594,6 +634,169 @@ private:
   const GnuLocal &Alloc;
 };
 
+//===----------------------------------------------------------------------===//
+// BitmapFit slab map + bitmaps
+//===----------------------------------------------------------------------===//
+
+class BitmapFitChecker final : public HeapChecker {
+public:
+  explicit BitmapFitChecker(const BitmapFit &A)
+      : Alloc(A), GeneralChecker(A.generalBackend()) {}
+
+  const char *allocatorName() const override { return Alloc.name(); }
+
+  void check(CheckContext &Ctx) const override {
+    const SimHeap &Heap = Alloc.heap();
+    const char *Name = Alloc.name();
+    Addr Map = Alloc.slabMapAddr();
+
+    // Slab-map sweep: every nonzero entry must name a plausible bucket
+    // and a slab whose header line agrees with the map.
+    std::unordered_map<uint32_t, uint32_t> SlabBuckets;
+    for (uint32_t I = 0; I != Alloc.slabMapCapacity(); ++I) {
+      uint32_t Entry = Heap.peek32(Map + 4 * I);
+      if (Entry == 0)
+        continue;
+      uint32_t Bucket = Entry - 1;
+      if (Bucket >= BitmapFit::NumBuckets) {
+        reportTo(Ctx, Name, ViolationKind::DescriptorCorrupt, Map + 4 * I,
+                 "slab-map entry for slab " + std::to_string(I) +
+                     " names bucket " + std::to_string(Bucket) + " of " +
+                     std::to_string(BitmapFit::NumBuckets));
+        continue;
+      }
+      Addr Slab = Heap.base() + (I << BitmapFit::SlabShift);
+      if (!Heap.contains(Slab, BitmapFit::SlabBytes)) {
+        reportTo(Ctx, Name, ViolationKind::DescriptorCorrupt, Map + 4 * I,
+                 "slab-map entry for slab " + std::to_string(I) +
+                     " lies beyond the heap break");
+        continue;
+      }
+      uint32_t Header = Heap.peek32(Slab);
+      if (Header != BitmapFit::slabHeaderWord(Bucket)) {
+        reportTo(Ctx, Name, ViolationKind::DescriptorCorrupt, Slab,
+                 "slab " + std::to_string(I) + " header " + hexAddr(Header) +
+                     " does not match map bucket " + std::to_string(Bucket));
+        continue;
+      }
+      checkSlab(Ctx, Slab, Bucket);
+      SlabBuckets.emplace(I, Bucket);
+    }
+
+    // Bucket slab lists: null-terminated, acyclic, every node a registered
+    // slab of exactly this bucket — and every registered slab listed.
+    std::unordered_set<Addr> Listed;
+    for (unsigned Bucket = 0; Bucket != BitmapFit::NumBuckets; ++Bucket) {
+      std::string Label = "bucket " + std::to_string(Bucket) + " slab list";
+      Addr Node = Heap.peek32(Alloc.bucketHeadSlot(Bucket));
+      uint64_t Steps = 0;
+      while (Node != 0) {
+        if (++Steps > MaxWalkSteps) {
+          reportTo(Ctx, Name, ViolationKind::FreelistCorrupt,
+                   Alloc.bucketHeadSlot(Bucket),
+                   Label + ": traversal exceeded step bound (cyclic list)");
+          break;
+        }
+        if ((Node & 3) != 0 || !Heap.contains(Node, BitmapFit::SlabBytes)) {
+          reportTo(Ctx, Name, ViolationKind::FreelistCorrupt, Node,
+                   Label + ": link points outside the heap or is misaligned");
+          break;
+        }
+        if (!Listed.insert(Node).second) {
+          reportTo(Ctx, Name, ViolationKind::FreelistCorrupt, Node,
+                   Label + ": slab reached twice (cycle or double listing)");
+          break;
+        }
+        uint32_t Index =
+            (Node - Heap.base()) >> BitmapFit::SlabShift;
+        auto It = SlabBuckets.find(Index);
+        if (Heap.base() + (Index << BitmapFit::SlabShift) != Node ||
+            It == SlabBuckets.end()) {
+          reportTo(Ctx, Name, ViolationKind::FreelistCorrupt, Node,
+                   Label + ": node " + hexAddr(Node) +
+                       " is not a registered slab boundary");
+          break;
+        }
+        if (It->second != Bucket) {
+          reportTo(Ctx, Name, ViolationKind::SizeClassMismatch, Node,
+                   Label + ": slab " + std::to_string(Index) +
+                       " is registered to bucket " +
+                       std::to_string(It->second));
+          break;
+        }
+        Node = Heap.peek32(Node + 8);
+      }
+    }
+    for (const auto &[Index, Bucket] : SlabBuckets) {
+      Addr Slab = Heap.base() + (Index << BitmapFit::SlabShift);
+      if (Listed.count(Slab) == 0)
+        reportTo(Ctx, Name, ViolationKind::FreelistCorrupt, Slab,
+                 "registered slab " + std::to_string(Index) +
+                     " is missing from bucket " + std::to_string(Bucket) +
+                     "'s slab list");
+    }
+
+    GeneralChecker.check(Ctx);
+  }
+
+private:
+  /// Bitmap invariants of one registered slab: trailing (nonexistent) bits
+  /// permanently set, used count equal to the set-bit population, spare
+  /// word zero, and no free slot inside live user data.
+  void checkSlab(CheckContext &Ctx, Addr Slab, uint32_t Bucket) const {
+    const SimHeap &Heap = Alloc.heap();
+    const char *Name = Alloc.name();
+    uint32_t Slots = BitmapFit::slotsPerSlab(Bucket);
+    uint32_t SlotSize = BitmapFit::slotBytes(Bucket);
+
+    if (Heap.peek32(Slab + 12) != 0)
+      reportTo(Ctx, Name, ViolationKind::DescriptorCorrupt, Slab + 12,
+               "slab spare word is nonzero");
+
+    uint32_t Population = 0;
+    for (unsigned W = 0; W != BitmapFit::BitmapWords; ++W) {
+      uint32_t Word = Heap.peek32(Slab + 16 + 4 * W);
+      uint32_t FirstBit = 32 * W;
+      uint32_t TrailMask;
+      if (Slots >= FirstBit + 32)
+        TrailMask = 0;
+      else if (Slots <= FirstBit)
+        TrailMask = ~0u;
+      else
+        TrailMask = ~((1u << (Slots - FirstBit)) - 1);
+      if ((Word & TrailMask) != TrailMask) {
+        reportTo(Ctx, Name, ViolationKind::DescriptorCorrupt,
+                 Slab + 16 + 4 * W,
+                 "bitmap word " + std::to_string(W) +
+                     " clears a bit past the slab's " +
+                     std::to_string(Slots) + " slots");
+        return;
+      }
+      uint32_t Real = Word & ~TrailMask;
+      Population += static_cast<uint32_t>(std::popcount(Real));
+      for (uint32_t Bit = 0; Bit != 32; ++Bit) {
+        if (FirstBit + Bit >= Slots)
+          break;
+        if ((Word >> Bit) & 1u)
+          continue;
+        Addr SlotAddr =
+            Slab + BitmapFit::SlabHeaderBytes + (FirstBit + Bit) * SlotSize;
+        checkNotLive(Ctx, Name, SlotAddr, SlotSize, "free bitmap slot");
+      }
+    }
+
+    uint32_t Used = Heap.peek32(Slab + 4);
+    if (Used != Population)
+      reportTo(Ctx, Name, ViolationKind::AccountingMismatch, Slab + 4,
+               "slab used count " + std::to_string(Used) +
+                   " disagrees with bitmap population " +
+                   std::to_string(Population));
+  }
+
+  const BitmapFit &Alloc;
+  GnuGxxChecker GeneralChecker;
+};
+
 } // namespace
 
 std::unique_ptr<HeapChecker>
@@ -619,6 +822,12 @@ allocsim::createHeapChecker(const Allocator &Alloc) {
   case AllocatorKind::GnuLocal:
     return std::make_unique<GnuLocalChecker>(
         static_cast<const GnuLocal &>(Alloc));
+  case AllocatorKind::BitmapFit:
+    return std::make_unique<BitmapFitChecker>(
+        static_cast<const BitmapFit &>(Alloc));
+  case AllocatorKind::SpaceFit:
+    return std::make_unique<SpaceFitChecker>(
+        static_cast<const SpaceFit &>(Alloc));
   }
   unreachable("unknown allocator kind");
 }

@@ -102,9 +102,10 @@ void runMissRateSuite(SuiteRun &Run, const ConformOptions &Options,
                       DiagEngine &Diags) {
   MatrixSpec Spec;
   Spec.Workloads = {WorkloadId::GsSmall, WorkloadId::GsMedium};
-  Spec.Allocators = {AllocatorKind::FirstFit, AllocatorKind::QuickFit,
-                     AllocatorKind::GnuGxx,   AllocatorKind::Bsd,
-                     AllocatorKind::GnuLocal, AllocatorKind::Custom};
+  Spec.Allocators = {AllocatorKind::FirstFit,  AllocatorKind::QuickFit,
+                     AllocatorKind::GnuGxx,    AllocatorKind::Bsd,
+                     AllocatorKind::GnuLocal,  AllocatorKind::Custom,
+                     AllocatorKind::BitmapFit, AllocatorKind::SpaceFit};
   Spec.Caches = {{16 * 1024, 32, 1},
                  {32 * 1024, 32, 1},
                  {64 * 1024, 32, 1},
@@ -201,6 +202,40 @@ void runMissRateSuite(SuiteRun &Run, const ConformOptions &Options,
                     "missrate", Workload, Other, AllocatorKind::FirstFit,
                     ConformMetric::SearchPerOp, 0, PairAssert::Cmp::LT),
           Diags);
+
+    // PAPERS.md moderns: BitmapFit packs same-class objects into aligned
+    // slabs with one metadata line each, so it beats both sequential fits
+    // on locality at the small-to-medium cache sizes; its word-at-a-time
+    // bitmap scan touches only slab header lines, while SpaceFit pays best
+    // fit's ordered-list walks in full, in search traffic and in
+    // instruction fraction.
+    for (size_t CacheIdx = 0; CacheIdx != 3; ++CacheIdx)
+      for (AllocatorKind Sequential :
+           {AllocatorKind::FirstFit, AllocatorKind::SpaceFit})
+        Run.Checks += checkPair(
+            Stores,
+            allocPair("moderns: BitmapFit beats the sequential fits on "
+                      "miss rate",
+                      "missrate", Workload, AllocatorKind::BitmapFit,
+                      Sequential, ConformMetric::MissRate, CacheIdx,
+                      PairAssert::Cmp::LT),
+            Diags);
+    Run.Checks += checkPair(
+        Stores,
+        allocPair("moderns: BitmapFit's header-line scan searches fewer "
+                  "blocks than SpaceFit's ordered walk",
+                  "missrate", Workload, AllocatorKind::BitmapFit,
+                  AllocatorKind::SpaceFit, ConformMetric::SearchPerOp, 0,
+                  PairAssert::Cmp::LT),
+        Diags);
+    Run.Checks += checkPair(
+        Stores,
+        allocPair("moderns: SpaceFit's sorted-list maintenance dominates "
+                  "its allocation fraction",
+                  "missrate", Workload, AllocatorKind::BitmapFit,
+                  AllocatorKind::SpaceFit, ConformMetric::AllocFraction, 0,
+                  PairAssert::Cmp::LT),
+        Diags);
   }
 }
 
@@ -212,6 +247,8 @@ void runExecTimeSuite(SuiteRun &Run, const ConformOptions &Options,
   Spec.Workloads = {WorkloadId::Espresso, WorkloadId::Make};
   Spec.Allocators.assign(std::begin(PaperAllocators),
                          std::end(PaperAllocators));
+  Spec.Allocators.push_back(AllocatorKind::BitmapFit);
+  Spec.Allocators.push_back(AllocatorKind::SpaceFit);
   Spec.PenaltiesCycles = {25, 100};
   Spec.Caches = {{16 * 1024, 32, 1}, {64 * 1024, 32, 1}};
   runSuiteMatrix(Run, "exectime", std::move(Spec), Options, Diags);
@@ -248,7 +285,8 @@ void runExecTimeSuite(SuiteRun &Run, const ConformOptions &Options,
     // robust comparisons gate.)
     for (size_t CacheIdx = 0; CacheIdx != 2; ++CacheIdx) {
       for (AllocatorKind Slower :
-           {AllocatorKind::FirstFit, AllocatorKind::GnuLocal})
+           {AllocatorKind::FirstFit, AllocatorKind::GnuLocal,
+            AllocatorKind::SpaceFit})
         Run.Checks += checkPair(
             Stores,
             allocPair("Tables 4-5: BSD is faster than the overhead-heavy "
@@ -257,6 +295,15 @@ void runExecTimeSuite(SuiteRun &Run, const ConformOptions &Options,
                       ConformMetric::EstSeconds, CacheIdx,
                       PairAssert::Cmp::LT),
             Diags);
+      // PAPERS.md moderns: the bitmap scan's near-constant paths beat the
+      // sorted freelist's walks end to end.
+      Run.Checks += checkPair(
+          Stores,
+          allocPair("moderns: BitmapFit is faster than SpaceFit",
+                    "exectime", Workload, AllocatorKind::BitmapFit,
+                    AllocatorKind::SpaceFit, ConformMetric::EstSeconds,
+                    CacheIdx, PairAssert::Cmp::LT),
+          Diags);
     }
 
     // §4.2: GNU Local's locality advantage is cancelled by CPU overhead —

@@ -12,14 +12,24 @@ using namespace allocsim;
 
 namespace {
 
+/// All allocators the metamorphic properties quantify over: the five paper
+/// allocators plus the PAPERS.md modern extensions. The invariants are
+/// policy-independent, so every backend must satisfy them.
+std::vector<AllocatorKind> metamorphicAllocators() {
+  std::vector<AllocatorKind> Kinds(std::begin(PaperAllocators),
+                                   std::end(PaperAllocators));
+  Kinds.push_back(AllocatorKind::BitmapFit);
+  Kinds.push_back(AllocatorKind::SpaceFit);
+  return Kinds;
+}
+
 /// The shared base matrix every matrix-level property transforms: two
-/// workloads (one heavy churner, one light), all five paper allocators, two
-/// cache geometries, telemetry on so merged-snapshot equality is exercised.
+/// workloads (one heavy churner, one light), every allocator, two cache
+/// geometries, telemetry on so merged-snapshot equality is exercised.
 MatrixSpec baseSpec(const MetamorphicOptions &Options) {
   MatrixSpec Spec;
   Spec.Workloads = {WorkloadId::Espresso, WorkloadId::Make};
-  Spec.Allocators.assign(std::begin(PaperAllocators),
-                         std::end(PaperAllocators));
+  Spec.Allocators = metamorphicAllocators();
   Spec.Caches = {{16 * 1024, 32, 1}, {64 * 1024, 32, 1}};
   Spec.Base.Engine.Scale = Options.Scale;
   Spec.Base.Engine.Seed = Options.Seed;
@@ -162,8 +172,7 @@ size_t checkAssocInclusion(const MetamorphicOptions &Options,
                            DiagEngine &Diags) {
   MatrixSpec Spec;
   Spec.Workloads = {WorkloadId::Espresso, WorkloadId::Make};
-  Spec.Allocators.assign(std::begin(PaperAllocators),
-                         std::end(PaperAllocators));
+  Spec.Allocators = metamorphicAllocators();
   Spec.Caches = {{16 * 1024, 32, 1}, {32 * 1024, 32, 2}, {64 * 1024, 32, 4}};
   Spec.Base.Engine.Scale = Options.Scale;
   Spec.Base.Engine.Seed = Options.Seed;
@@ -243,7 +252,7 @@ std::vector<AllocEvent> synthesizeScript(uint64_t Seed) {
 
 /// conform-meta-relabel: mapping every object id through a bijection (an
 /// odd multiplier is invertible mod 2^32) must leave every measurement of a
-/// scripted run unchanged for every paper allocator.
+/// scripted run unchanged for every allocator.
 size_t checkRelabelInvariance(const MetamorphicOptions &Options,
                               DiagEngine &Diags) {
   std::vector<AllocEvent> Plain = synthesizeScript(Options.Seed);
@@ -253,7 +262,7 @@ size_t checkRelabelInvariance(const MetamorphicOptions &Options,
       Event.Id = Event.Id * 2654435761u;
 
   size_t Checked = 0;
-  for (AllocatorKind Kind : PaperAllocators) {
+  for (AllocatorKind Kind : metamorphicAllocators()) {
     ExperimentConfig Config;
     Config.Workload = WorkloadId::Espresso;
     Config.Allocator = Kind;

@@ -317,3 +317,88 @@ TEST(AllocatorFuzzTest, BestFitRidesAlong) {
   FuzzOutcome Outcome = replay(Events, AllocatorKind::BestFit, true);
   EXPECT_EQ(Outcome.Violations, 0u);
 }
+
+namespace {
+
+/// The modern CacheLab backends (PAPERS.md): fuzzed to the identical bar as
+/// the paper five — every seed, every delivery mode, the OOM axis, and the
+/// committed corpus.
+constexpr AllocatorKind ModernKinds[] = {AllocatorKind::BitmapFit,
+                                         AllocatorKind::SpaceFit};
+
+} // namespace
+
+TEST(AllocatorFuzzTest, ModernBackendsNoViolationsUnderFullCheck) {
+  for (AllocatorKind Kind : ModernKinds) {
+    for (uint64_t Seed : FuzzSeeds) {
+      SCOPED_TRACE(std::string(allocatorKindName(Kind)) + "/seed=" +
+                   std::to_string(Seed));
+      std::vector<AllocEvent> Events = synthesizeScript(Seed, 2000);
+      FuzzOutcome Outcome = replay(Events, Kind, /*Batched=*/true);
+      EXPECT_EQ(Outcome.Violations, 0u)
+          << (Outcome.Reports.empty() ? std::string("(no report)")
+                                      : Outcome.Reports.front());
+      EXPECT_GT(Outcome.Walks, 0u);
+    }
+  }
+}
+
+TEST(AllocatorFuzzTest, ModernBackendsStayDifferential) {
+  for (AllocatorKind Kind : ModernKinds) {
+    for (uint64_t Seed : FuzzSeeds) {
+      SCOPED_TRACE(std::string(allocatorKindName(Kind)) + "/seed=" +
+                   std::to_string(Seed));
+      std::vector<AllocEvent> Events = synthesizeScript(Seed, 2000);
+      FuzzOutcome Batched = replay(Events, Kind, /*Batched=*/true);
+      FuzzOutcome Scalar = replay(Events, Kind, /*Batched=*/false);
+      EXPECT_EQ(Batched, Scalar);
+    }
+  }
+}
+
+TEST(AllocatorFuzzTest, ModernBackendsCapacityLimitedOom) {
+  // BitmapFit's slab carves and map growth, and SpaceFit's chunk expansion,
+  // must all fail soft at the capacity wall: graceful failed mallocs, no
+  // integrity violations, and bit-identical across delivery modes.
+  for (AllocatorKind Kind : ModernKinds) {
+    bool SawFailures = false;
+    for (uint64_t Seed : FuzzSeeds) {
+      uint64_t Capacity = 8192 + (SplitMix64(Seed).next() % 32768);
+      SCOPED_TRACE(std::string(allocatorKindName(Kind)) + "/seed=" +
+                   std::to_string(Seed) + "/capacity=" +
+                   std::to_string(Capacity));
+      std::vector<AllocEvent> Events = synthesizeScript(Seed, 2000);
+      FuzzOutcome Batched = replay(Events, Kind, /*Batched=*/true, Capacity);
+      EXPECT_EQ(Batched.Violations, 0u)
+          << (Batched.Reports.empty() ? std::string("(no report)")
+                                      : Batched.Reports.front());
+      FuzzOutcome Scalar = replay(Events, Kind, /*Batched=*/false, Capacity);
+      EXPECT_EQ(Batched, Scalar);
+      if (Batched.FailedMallocs > 0) {
+        SawFailures = true;
+        EXPECT_GT(Batched.DroppedEvents, 0u);
+      } else {
+        EXPECT_EQ(Batched.DroppedEvents, 0u);
+      }
+    }
+    EXPECT_TRUE(SawFailures)
+        << allocatorKindName(Kind)
+        << ": no seed ran out of heap — capacities too generous";
+  }
+}
+
+TEST(AllocatorFuzzTest, ModernBackendsReplayCommittedCorpus) {
+  // Every committed stream — oom_recovery.events included — replays clean
+  // and differential under both new backends.
+  for (const auto &[Name, Events] : loadCorpus()) {
+    for (AllocatorKind Kind : ModernKinds) {
+      SCOPED_TRACE(Name + "/" + allocatorKindName(Kind));
+      FuzzOutcome Batched = replay(Events, Kind, /*Batched=*/true);
+      EXPECT_EQ(Batched.Violations, 0u)
+          << (Batched.Reports.empty() ? std::string("(no report)")
+                                      : Batched.Reports.front());
+      FuzzOutcome Scalar = replay(Events, Kind, /*Batched=*/false);
+      EXPECT_EQ(Batched, Scalar);
+    }
+  }
+}

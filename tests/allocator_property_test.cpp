@@ -8,9 +8,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "alloc/BitmapFit.h"
 #include "alloc/CustomAlloc.h"
 #include "alloc/GnuLocal.h"
 #include "alloc/SizeClassMap.h"
+#include "alloc/SpaceFit.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -31,6 +33,8 @@ enum class Variant {
   GnuLocalTagged,
   QuickFit,
   Custom,
+  BitmapFit,
+  SpaceFit,
 };
 
 std::string variantName(const testing::TestParamInfo<Variant> &Info) {
@@ -49,6 +53,10 @@ std::string variantName(const testing::TestParamInfo<Variant> &Info) {
     return "QuickFit";
   case Variant::Custom:
     return "Custom";
+  case Variant::BitmapFit:
+    return "BitmapFit";
+  case Variant::SpaceFit:
+    return "SpaceFit";
   }
   return "?";
 }
@@ -84,6 +92,12 @@ protected:
           *Heap, Cost, SizeClassMap::fromProfile(Profile, 8, 512));
       break;
     }
+    case Variant::BitmapFit:
+      Alloc = createAllocator(AllocatorKind::BitmapFit, *Heap, Cost);
+      break;
+    case Variant::SpaceFit:
+      Alloc = createAllocator(AllocatorKind::SpaceFit, *Heap, Cost);
+      break;
     }
   }
 
@@ -230,5 +244,150 @@ INSTANTIATE_TEST_SUITE_P(AllAllocators, AllocatorPropertyTest,
                          testing::Values(Variant::FirstFit, Variant::GnuGxx,
                                          Variant::Bsd, Variant::GnuLocal,
                                          Variant::GnuLocalTagged,
-                                         Variant::QuickFit, Variant::Custom),
+                                         Variant::QuickFit, Variant::Custom,
+                                         Variant::BitmapFit,
+                                         Variant::SpaceFit),
                          variantName);
+
+//===----------------------------------------------------------------------===//
+// Targeted properties of the modern backends' internal disciplines.
+//===----------------------------------------------------------------------===//
+
+TEST(BitmapFitPropertyTest, WordScanReturnsLowestFreeSlot) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  BitmapFit Alloc(Heap, Cost);
+
+  // Same-bucket requests fill one slab's slots in ascending address order.
+  std::vector<Addr> Slots;
+  for (int I = 0; I != 40; ++I)
+    Slots.push_back(Alloc.malloc(16));
+  for (int I = 1; I != 40; ++I)
+    ASSERT_EQ(Slots[I], Slots[I - 1] + BitmapFit::slotBytes(0))
+        << "slot " << I;
+
+  // Free out of order, across both bitmap words in play; the word-at-a-time
+  // scan must hand back the lowest free slot every time.
+  Alloc.free(Slots[37]);
+  Alloc.free(Slots[7]);
+  Alloc.free(Slots[20]);
+  Alloc.free(Slots[3]);
+  EXPECT_EQ(Alloc.malloc(16), Slots[3]);
+  EXPECT_EQ(Alloc.malloc(16), Slots[7]);
+  EXPECT_EQ(Alloc.malloc(16), Slots[20]);
+  EXPECT_EQ(Alloc.malloc(16), Slots[37]);
+}
+
+TEST(BitmapFitPropertyTest, SlotsAreLineAlignedWithinTheHeap) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  BitmapFit Alloc(Heap, Cost);
+
+  // Every slab-served object sits on a cache-line boundary relative to the
+  // heap base — the property the whole design exists for.
+  for (uint32_t Size = 1; Size <= BitmapFit::MaxSingleBytes; Size += 17) {
+    Addr Ptr = Alloc.malloc(Size);
+    ASSERT_NE(Ptr, 0u);
+    EXPECT_EQ((Ptr - Heap.base()) % BitmapFit::LineBytes, 0u)
+        << "size " << Size;
+  }
+}
+
+TEST(BitmapFitPropertyTest, DelegationBoundaryIsMaxSingleBytes) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  BitmapFit Alloc(Heap, Cost);
+
+  Addr Small = Alloc.malloc(BitmapFit::MaxSingleBytes);
+  EXPECT_EQ(Alloc.generalBackend().stats().MallocCalls, 0u);
+  Addr Large = Alloc.malloc(BitmapFit::MaxSingleBytes + 1);
+  EXPECT_EQ(Alloc.generalBackend().stats().MallocCalls, 1u);
+
+  // Frees route back to the owning side, and both sides drain to empty.
+  Alloc.free(Large);
+  Alloc.free(Small);
+  EXPECT_EQ(Alloc.stats().LiveBytes, 0u);
+  EXPECT_EQ(Alloc.generalBackend().stats().LiveBytes, 0u);
+}
+
+namespace {
+
+/// Walks SpaceFit's circular size-sorted freelist, asserting the structural
+/// invariants every split/coalesce must preserve: no block below
+/// MinBlockBytes, sizes ascending, allocated bit clear, and header mirrored
+/// in the boundary-tag footer.
+void checkSpaceFitFreelist(SimHeap &Heap, const SpaceFit &Alloc) {
+  Addr Sentinel = Alloc.freelistSentinel();
+  uint32_t PrevSize = 0;
+  size_t Steps = 0;
+  for (Addr Node = Heap.peek32(Sentinel + 4); Node != Sentinel;
+       Node = Heap.peek32(Node + 4)) {
+    ASSERT_LT(Steps++, size_t(1) << 16) << "freelist does not terminate";
+    uint32_t Header = Heap.peek32(Node);
+    uint32_t Size = Header & ~1u;
+    ASSERT_EQ(Header & 1u, 0u) << "allocated block on the freelist";
+    ASSERT_GE(Size, CoalescingAllocator::MinBlockBytes)
+        << "split produced a sub-minimum block";
+    ASSERT_EQ(Heap.peek32(Node + Size - 4), Header)
+        << "boundary-tag footer disagrees with header";
+    ASSERT_GE(Size, PrevSize) << "size-sorted freelist out of order";
+    PrevSize = Size;
+  }
+}
+
+} // namespace
+
+TEST(SpaceFitPropertyTest, PicksTheTightestFit) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  SpaceFit Alloc(Heap, Cost);
+
+  // Two free holes of different sizes, fenced by live guards so they cannot
+  // coalesce; a request that exactly fits the smaller one must reuse it,
+  // and the next request the larger.
+  Addr BigHole = Alloc.malloc(200);
+  Addr Guard1 = Alloc.malloc(40);
+  Addr SmallHole = Alloc.malloc(56);
+  Addr Guard2 = Alloc.malloc(40);
+  Alloc.free(BigHole);
+  Alloc.free(SmallHole);
+
+  EXPECT_EQ(Alloc.malloc(56), SmallHole);
+  EXPECT_EQ(Alloc.malloc(200), BigHole);
+  Alloc.free(Guard1);
+  Alloc.free(Guard2);
+}
+
+TEST(SpaceFitPropertyTest, ChurnPreservesFreelistInvariants) {
+  MemoryBus Bus;
+  SimHeap Heap(Bus);
+  CostModel Cost;
+  SpaceFit Alloc(Heap, Cost);
+
+  Rng R(0x5FACEF17);
+  std::vector<std::pair<Addr, uint32_t>> Live;
+  for (int Op = 0; Op != 2000; ++Op) {
+    bool DoFree = !Live.empty() && (Live.size() > 200 || R.nextBool(0.45));
+    if (!DoFree) {
+      uint32_t Size = 4 + 4 * static_cast<uint32_t>(R.nextBelow(128));
+      Addr Ptr = Alloc.malloc(Size);
+      ASSERT_NE(Ptr, 0u);
+      Live.emplace_back(Ptr, Size);
+    } else {
+      size_t Victim = R.nextBelow(Live.size());
+      Alloc.free(Live[Victim].first);
+      Live[Victim] = Live.back();
+      Live.pop_back();
+    }
+    if (Op % 64 == 0)
+      checkSpaceFitFreelist(Heap, Alloc);
+  }
+  for (auto [Ptr, Size] : Live)
+    Alloc.free(Ptr);
+  checkSpaceFitFreelist(Heap, Alloc);
+  EXPECT_EQ(Alloc.stats().LiveBytes, 0u);
+}

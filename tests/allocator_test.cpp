@@ -46,6 +46,25 @@ TEST(AllocatorFactoryTest, NamesRoundTrip) {
   EXPECT_EQ(parseAllocatorKind("first-fit"), AllocatorKind::FirstFit);
 }
 
+TEST(AllocatorFactoryTest, CreatesTheModernBackends) {
+  for (AllocatorKind Kind :
+       {AllocatorKind::BitmapFit, AllocatorKind::SpaceFit}) {
+    Harness H;
+    std::unique_ptr<Allocator> Alloc = createAllocator(Kind, H.Heap, H.Cost);
+    ASSERT_NE(Alloc, nullptr);
+    EXPECT_EQ(Alloc->kind(), Kind);
+    Addr Ptr = Alloc->malloc(24);
+    EXPECT_NE(Ptr, 0u);
+    Alloc->free(Ptr);
+    EXPECT_EQ(parseAllocatorKind(allocatorKindName(Kind)), Kind);
+  }
+  // The matrix axis accepts both spellings of each.
+  EXPECT_EQ(parseAllocatorKind("bitmapfit"), AllocatorKind::BitmapFit);
+  EXPECT_EQ(parseAllocatorKind("bitmap-fit"), AllocatorKind::BitmapFit);
+  EXPECT_EQ(parseAllocatorKind("spacefit"), AllocatorKind::SpaceFit);
+  EXPECT_EQ(parseAllocatorKind("space-fit"), AllocatorKind::SpaceFit);
+}
+
 //===----------------------------------------------------------------------===//
 // FirstFit
 //===----------------------------------------------------------------------===//

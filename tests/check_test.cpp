@@ -9,10 +9,12 @@
 
 #include "check/HeapCheck.h"
 
+#include "alloc/BitmapFit.h"
 #include "alloc/Bsd.h"
 #include "alloc/FirstFit.h"
 #include "alloc/GnuLocal.h"
 #include "alloc/QuickFit.h"
+#include "alloc/SpaceFit.h"
 #include "core/Lab.h"
 
 #include <gtest/gtest.h>
@@ -385,6 +387,123 @@ TEST(CheckWalkerTest, GnuLocalFragmentAccountingIsCaught) {
   EXPECT_TRUE(H.has(ViolationKind::AccountingMismatch));
 }
 
+TEST(CheckWalkerTest, BitmapFitAccountingTamperIsCaught) {
+  CheckHarness H;
+  BitmapFit Alloc(H.Heap, H.Cost);
+  H.Check.attachAllocator(Alloc);
+
+  Addr A = Alloc.malloc(16); // slot 0 of bucket 0's first slab
+  Addr Slab = A - BitmapFit::SlabHeaderBytes;
+  // Clear the live slot's occupancy bit: the bitmap population no longer
+  // matches the used count (and the "free" slot overlaps a live object).
+  H.Heap.poke32(Slab + 16, H.Heap.peek32(Slab + 16) & ~1u);
+  H.Check.runWalk();
+
+  const CheckViolation *V = H.find(ViolationKind::AccountingMismatch);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->AllocatorName, "BitmapFit");
+}
+
+TEST(CheckWalkerTest, BitmapFitHeaderForgeryIsCaught) {
+  CheckHarness H;
+  BitmapFit Alloc(H.Heap, H.Cost);
+  H.Check.attachAllocator(Alloc);
+
+  Addr A = Alloc.malloc(16);
+  Addr Slab = A - BitmapFit::SlabHeaderBytes;
+  // The slab map says bucket 0; a header claiming another bucket is forged.
+  H.Heap.poke32(Slab, BitmapFit::slabHeaderWord(3));
+  H.Check.runWalk();
+
+  const CheckViolation *V = H.find(ViolationKind::DescriptorCorrupt);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->AllocatorName, "BitmapFit");
+}
+
+TEST(CheckWalkerTest, BitmapFitTrailingBitClearIsCaught) {
+  CheckHarness H;
+  BitmapFit Alloc(H.Heap, H.Cost);
+  H.Check.attachAllocator(Alloc);
+
+  // Bucket 15 has only 7 real slots; bits 7..31 are permanently set.
+  Addr A = Alloc.malloc(512);
+  Addr Slab = A - BitmapFit::SlabHeaderBytes;
+  H.Heap.poke32(Slab + 16, H.Heap.peek32(Slab + 16) & ~(1u << 31));
+  H.Check.runWalk();
+  EXPECT_TRUE(H.has(ViolationKind::DescriptorCorrupt));
+}
+
+TEST(CheckWalkerTest, BitmapFitSlabListClobberIsCaught) {
+  CheckHarness H;
+  BitmapFit Alloc(H.Heap, H.Cost);
+  H.Check.attachAllocator(Alloc);
+
+  Addr A = Alloc.malloc(16);
+  Addr Slab = A - BitmapFit::SlabHeaderBytes;
+  H.Heap.poke32(Slab + 8, 0x1234); // garbage next-slab link
+  H.Check.runWalk();
+
+  const CheckViolation *V = H.find(ViolationKind::FreelistCorrupt);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->AllocatorName, "BitmapFit");
+}
+
+TEST(CheckWalkerTest, SpaceFitLinkClobberIsCaught) {
+  CheckHarness H;
+  SpaceFit Alloc(H.Heap, H.Cost);
+  H.Check.attachAllocator(Alloc);
+
+  Addr A = Alloc.malloc(40);
+  Alloc.free(A);
+  Addr Node = firstFreeNode(H.Heap, Alloc.freelistSentinel());
+  H.Heap.poke32(Node + 4, 0xDEADBEEF); // clobber the next link
+  H.Check.runWalk();
+
+  const CheckViolation *V = H.find(ViolationKind::FreelistCorrupt);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->AllocatorName, "SpaceFit");
+}
+
+TEST(CheckWalkerTest, SpaceFitOrderViolationIsCaught) {
+  CheckHarness H;
+  SpaceFit Alloc(H.Heap, H.Cost);
+  H.Check.attachAllocator(Alloc);
+
+  // Two coalescing-fenced holes of different sizes plus the chunk tail:
+  // at least three free blocks, sorted ascending.
+  Addr Big = Alloc.malloc(200);
+  Addr Guard1 = Alloc.malloc(40);
+  Addr Small = Alloc.malloc(56);
+  Addr Guard2 = Alloc.malloc(40);
+  (void)Guard1;
+  (void)Guard2;
+  Alloc.free(Big);
+  Alloc.free(Small);
+  H.Check.runWalk();
+  ASSERT_EQ(H.Check.violationCount(), 0u);
+
+  // Swap the first two nodes: the list stays a perfectly well-formed
+  // circular doubly-linked chain, but the size order is broken — only the
+  // SpaceFit-specific sortedness invariant can see it.
+  Addr S = Alloc.freelistSentinel();
+  Addr N1 = H.Heap.peek32(S + 4);
+  Addr N2 = H.Heap.peek32(N1 + 4);
+  Addr N3 = H.Heap.peek32(N2 + 4);
+  ASSERT_NE(N2, S);
+  ASSERT_NE(N3, S);
+  H.Heap.poke32(S + 4, N2);
+  H.Heap.poke32(N2 + 8, S);
+  H.Heap.poke32(N2 + 4, N1);
+  H.Heap.poke32(N1 + 8, N2);
+  H.Heap.poke32(N1 + 4, N3);
+  H.Heap.poke32(N3 + 8, N1);
+  H.Check.runWalk();
+
+  const CheckViolation *V = H.find(ViolationKind::FreelistCorrupt);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->AllocatorName, "SpaceFit");
+}
+
 //===----------------------------------------------------------------------===//
 // Abort mode
 //===----------------------------------------------------------------------===//
@@ -412,7 +531,8 @@ TEST(CheckLabTest, FullCheckCleanForEveryAllocator) {
   for (AllocatorKind Kind :
        {AllocatorKind::FirstFit, AllocatorKind::QuickFit,
         AllocatorKind::GnuGxx, AllocatorKind::Bsd, AllocatorKind::GnuLocal,
-        AllocatorKind::BestFit, AllocatorKind::Custom}) {
+        AllocatorKind::BestFit, AllocatorKind::Custom,
+        AllocatorKind::BitmapFit, AllocatorKind::SpaceFit}) {
     ExperimentConfig Config;
     Config.Workload = WorkloadId::Espresso;
     Config.Allocator = Kind;

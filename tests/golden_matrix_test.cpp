@@ -38,16 +38,18 @@ using namespace allocsim;
 namespace {
 
 /// The snapshot matrix: a reduced-but-representative slice of the paper's
-/// study. Three allocators spanning the design space (sequential fit,
-/// exact-size quick lists, power-of-two segregated storage), two workloads
-/// (interpreter-heavy espresso, buffer-heavy GS-Small), the paper's 16K
-/// direct-mapped cache, one paging point. Fixed scale and seed: the
-/// snapshot is a function of nothing but the code.
+/// study. Five allocators spanning the design space (sequential fit,
+/// exact-size quick lists, power-of-two segregated storage, cache-line
+/// bitmap slabs, size-sorted best fit), two workloads (interpreter-heavy
+/// espresso, buffer-heavy GS-Small), the paper's 16K direct-mapped cache,
+/// one paging point. Fixed scale and seed: the snapshot is a function of
+/// nothing but the code.
 MatrixSpec goldenSpec() {
   MatrixSpec Spec;
   Spec.Workloads = {WorkloadId::Espresso, WorkloadId::GsSmall};
   Spec.Allocators = {AllocatorKind::FirstFit, AllocatorKind::QuickFit,
-                     AllocatorKind::Bsd};
+                     AllocatorKind::Bsd, AllocatorKind::BitmapFit,
+                     AllocatorKind::SpaceFit};
   Spec.Caches = {CacheConfig{16 * 1024, 32, 1}};
   Spec.PagingMemoryKb = {256};
   Spec.Base.Engine.Scale = 128;

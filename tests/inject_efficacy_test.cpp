@@ -261,6 +261,55 @@ TEST(InjectEfficacyTest, FastCheckDetectsFlips) {
   }
 }
 
+TEST(InjectEfficacyTest, ModernBackendsDetectEveryCorruption) {
+  // The new CacheLab backends are held to the same zero-false-negative bar:
+  // BitmapFit's slab headers, bitmaps and slab map, and SpaceFit's sorted
+  // boundary-tagged freelist, are all walker-covered metadata — every
+  // injected fault must be detected under --check=full, over the whole
+  // committed corpus.
+  auto Corpus = loadCorpus();
+  uint64_t TotalInjected = 0;
+  for (const auto &[Name, Events] : Corpus) {
+    for (AllocatorKind Kind :
+         {AllocatorKind::BitmapFit, AllocatorKind::SpaceFit}) {
+      SCOPED_TRACE(Name + "/" + allocatorKindName(Kind));
+      RunResult Result =
+          runScriptExperiment(scriptConfig(Kind, CheckLevel::Full), Events);
+      EXPECT_EQ(Result.FaultsInjected, Result.Faults.size());
+      EXPECT_EQ(Result.FaultsDetected, Result.FaultsInjected);
+      for (const FaultRecord &Fault : Result.Faults)
+        EXPECT_TRUE(Fault.Detected)
+            << faultKindName(Fault.Kind) << " at op " << Fault.OpIndex
+            << ", addr " << Fault.Address << " escaped detection";
+      if (Result.FaultsInjected > 0) {
+        EXPECT_GT(Result.CheckViolations, 0u);
+      }
+      TotalInjected += Result.FaultsInjected;
+    }
+  }
+  EXPECT_GT(TotalInjected, 0u) << "plan injected nothing — rates too low";
+}
+
+TEST(InjectEfficacyTest, ModernBackendFaultSitesAreCheckLevelInvariant) {
+  auto Corpus = loadCorpus();
+  for (const auto &[Name, Events] : Corpus) {
+    for (AllocatorKind Kind :
+         {AllocatorKind::BitmapFit, AllocatorKind::SpaceFit}) {
+      SCOPED_TRACE(Name + "/" + allocatorKindName(Kind));
+      RunResult Full =
+          runScriptExperiment(scriptConfig(Kind, CheckLevel::Full), Events);
+      RunResult Off =
+          runScriptExperiment(scriptConfig(Kind, CheckLevel::Off), Events);
+      ASSERT_EQ(Full.Faults.size(), Off.Faults.size());
+      for (size_t I = 0; I != Full.Faults.size(); ++I) {
+        EXPECT_EQ(Full.Faults[I].Kind, Off.Faults[I].Kind);
+        EXPECT_EQ(Full.Faults[I].OpIndex, Off.Faults[I].OpIndex);
+        EXPECT_EQ(Full.Faults[I].Address, Off.Faults[I].Address);
+      }
+    }
+  }
+}
+
 TEST(InjectEfficacyTest, RepeatedRunsAreBitIdentical) {
   auto Corpus = loadCorpus();
   const auto &[Name, Events] = Corpus.front();

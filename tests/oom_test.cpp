@@ -59,6 +59,16 @@ std::vector<OomSubject> subjects() {
                         return std::make_unique<GnuLocal>(
                             Heap, Cost, /*EmulateBoundaryTags=*/true);
                       }});
+  // The modern CacheLab backends: BitmapFit must fail soft through slab
+  // carves and slab-map growth, SpaceFit through chunk expansion.
+  Subjects.push_back({"BitmapFit", [](SimHeap &Heap, CostModel &Cost) {
+                        return createAllocator(AllocatorKind::BitmapFit, Heap,
+                                               Cost);
+                      }});
+  Subjects.push_back({"SpaceFit", [](SimHeap &Heap, CostModel &Cost) {
+                        return createAllocator(AllocatorKind::SpaceFit, Heap,
+                                               Cost);
+                      }});
   return Subjects;
 }
 

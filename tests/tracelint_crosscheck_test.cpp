@@ -129,6 +129,43 @@ TEST(TraceLintCrossCheckTest, PredictionsMatchCustom) {
     checkScriptAgainstSimulator(Path, AllocatorKind::Custom);
 }
 
+TEST(TraceLintCrossCheckTest, PredictionsMatchSpaceFit) {
+  for (const auto &Path : corpusScripts())
+    checkScriptAgainstSimulator(Path, AllocatorKind::SpaceFit);
+}
+
+TEST(TraceLintCrossCheckTest, PredictionsMatchBitmapFit) {
+  // BitmapFit dispatches on nothing but the requested size, so TraceLint
+  // predicts its size-class traffic statically: class_hits/class_misses
+  // split every script malloc, and the class_index histogram is the
+  // line-granular demand profile — all bit-exact against telemetry.
+  for (const auto &Path : corpusScripts()) {
+    checkScriptAgainstSimulator(Path, AllocatorKind::BitmapFit);
+
+    std::ifstream In(Path);
+    ASSERT_TRUE(In);
+    DiagEngine Diags;
+    std::vector<LocatedAllocEvent> Located = lintTraceScript(In, Diags);
+    ASSERT_EQ(Diags.errorCount(), 0u);
+    TracePredictions P = predictTrace(buildTraceModel(Located));
+
+    std::vector<AllocEvent> Events;
+    for (const LocatedAllocEvent &Event : Located)
+      Events.push_back(Event.Event);
+    ExperimentConfig Config;
+    Config.Allocator = AllocatorKind::BitmapFit;
+    Config.Telemetry = TelemetryLevel::Full;
+    RunResult R = runScriptExperiment(Config, Events);
+
+    SCOPED_TRACE(Path.filename().string());
+    EXPECT_EQ(P.LineClassMallocs, R.Telemetry.counterValue("alloc.class_hits"));
+    EXPECT_EQ(P.DelegatedMallocs,
+              R.Telemetry.counterValue("alloc.class_misses"));
+    EXPECT_EQ(P.LineClassMallocs + P.DelegatedMallocs, P.MallocCalls);
+    EXPECT_EQ(P.LineClassDemand, R.Telemetry.histogram("alloc.class_index"));
+  }
+}
+
 TEST(TraceLintCrossCheckTest, PredictionsSeeThroughCaches) {
   // Attaching observers (caches) must not perturb any predicted quantity.
   std::vector<std::filesystem::path> Paths = corpusScripts();
