@@ -29,16 +29,43 @@ bool CacheConfig::valid() const {
 }
 
 std::string CacheConfig::describe() const {
-  std::string Result = std::to_string(SizeBytes / 1024) + "K ";
+  // Print sub-1K capacities in bytes instead of a misleading "0K" — this
+  // runs on configs that already failed valid(), and also on legal tiny
+  // fully-associative ones (e.g. 512B 16-way).
+  std::string Result = SizeBytes >= 1024
+                           ? std::to_string(SizeBytes / 1024) + "K "
+                           : std::to_string(SizeBytes) + "B ";
   Result += Assoc == 1 ? "direct-mapped" : (std::to_string(Assoc) + "-way");
   Result += ", " + std::to_string(BlockBytes) + "B blocks";
   return Result;
 }
 
-CacheSim::CacheSim(const CacheConfig &SimConfig)
-    : Config(SimConfig), BlockShift(log2Exact(SimConfig.BlockBytes)) {
+const char *allocsim::cacheEngineName(CacheEngineKind Engine) {
+  switch (Engine) {
+  case CacheEngineKind::PerConfig:
+    return "percfg";
+  case CacheEngineKind::StackDist:
+    return "stackdist";
+  }
+  return "?";
+}
+
+std::optional<CacheEngineKind>
+allocsim::tryParseCacheEngine(std::string_view Name) {
+  if (Name == "percfg")
+    return CacheEngineKind::PerConfig;
+  if (Name == "stackdist")
+    return CacheEngineKind::StackDist;
+  return std::nullopt;
+}
+
+CacheSim::CacheSim(const CacheConfig &SimConfig) : Config(SimConfig) {
+  // Validate before deriving the block shift: log2Exact on a zero or
+  // non-power-of-two block size is undefined behavior, and degenerate
+  // geometries must reach reportFatalError with a printable describe().
   if (!Config.valid())
     reportFatalError("invalid cache configuration: " + Config.describe());
+  BlockShift = log2Exact(Config.BlockBytes);
 }
 
 void CacheSim::access(const MemAccess &Acc) {
@@ -208,6 +235,12 @@ bool VictimCache::probe(uint64_t BlockFrame) {
 }
 
 size_t CacheBank::addCache(const CacheConfig &SimConfig) {
+  for (size_t I = 0; I != Caches.size(); ++I)
+    if (Caches[I]->config() == SimConfig)
+      reportFatalError("duplicate cache configuration (already at index " +
+                       std::to_string(I) +
+                       "): " + SimConfig.describe() +
+                       " — a duplicate would double-count in sweep output");
   if (SimConfig.Assoc == 1)
     Caches.push_back(std::make_unique<DirectMappedCache>(SimConfig));
   else

@@ -27,7 +27,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace allocsim {
@@ -41,15 +43,44 @@ struct CacheConfig {
   /// Associativity; 1 = direct-mapped (the paper's configuration).
   uint32_t Assoc = 1;
 
-  uint32_t numBlocks() const { return SizeBytes / BlockBytes; }
-  uint32_t numSets() const { return numBlocks() / Assoc; }
+  /// Capacity in blocks; 0 for the degenerate BlockBytes == 0 geometry
+  /// (which valid() rejects) rather than dividing by zero.
+  uint32_t numBlocks() const {
+    return BlockBytes == 0 ? 0 : SizeBytes / BlockBytes;
+  }
+  /// Number of sets; 0 for degenerate geometries (Assoc == 0 or
+  /// BlockBytes == 0) rather than dividing by zero.
+  uint32_t numSets() const { return Assoc == 0 ? 0 : numBlocks() / Assoc; }
 
   /// True if sizes are powers of two and the geometry is consistent.
   bool valid() const;
 
-  /// E.g. "64K direct-mapped, 32B blocks".
+  /// E.g. "64K direct-mapped, 32B blocks"; sub-1K capacities print in
+  /// bytes ("512B 16-way, 32B blocks"). Must stay total: it is called on
+  /// configurations that already failed valid() to build the fatal-error
+  /// message.
   std::string describe() const;
+
+  bool operator==(const CacheConfig &Other) const = default;
 };
+
+/// How an experiment simulates its cache sweep.
+enum class CacheEngineKind : uint8_t {
+  /// One CacheSim per configuration (CacheBank): every reference probes
+  /// every cache. Supports arbitrary mixed geometries.
+  PerConfig,
+  /// One-pass stack-distance engine (StackSim, see cache/StackSim.h): one
+  /// capped LRU stack per set serves the whole family in a single pass.
+  /// Requires the configurations to share block size and set count (vary
+  /// only associativity); bit-exact with PerConfig where both apply.
+  StackDist,
+};
+
+/// "percfg" / "stackdist".
+const char *cacheEngineName(CacheEngineKind Engine);
+
+/// Parses a cacheEngineName spelling; std::nullopt on anything else.
+std::optional<CacheEngineKind> tryParseCacheEngine(std::string_view Name);
 
 /// Hit/miss counters, split by access source.
 struct CacheStats {
@@ -111,7 +142,7 @@ protected:
 
   CacheConfig Config;
   CacheStats Stats;
-  uint32_t BlockShift;
+  uint32_t BlockShift = 0;
   /// Per-set miss counts; empty when the set profile is disabled.
   std::vector<uint64_t> SetMisses;
 };
@@ -195,7 +226,10 @@ private:
 class CacheBank final : public AccessSink {
 public:
   /// Adds a cache (direct-mapped if Assoc==1, else set-associative) and
-  /// returns its index.
+  /// returns its index. A configuration equal to one already in the bank
+  /// is fatal: a duplicate would silently double-count in sweep output, so
+  /// callers building banks from user input must dedupe (or diagnose)
+  /// first.
   size_t addCache(const CacheConfig &Config);
 
   void access(const MemAccess &Access) override;

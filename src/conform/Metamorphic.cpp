@@ -165,15 +165,16 @@ size_t checkPermutation(const MatrixSpec &Spec, const ResultStore &Whole,
 
 /// conform-meta-assoc: with the set count held fixed, doubling
 /// associativity (so capacity doubles too) can never increase LRU misses —
-/// the stack inclusion property. 16K direct-mapped, 32K 2-way and 64K 4-way
-/// with 32-byte blocks all have 512 sets.
-size_t checkAssocInclusion(const MetamorphicOptions &Options,
-                           const MatrixOptions &RunOptions,
-                           DiagEngine &Diags) {
+/// the stack inclusion property — for the given \p Caches chain, ordered
+/// narrowest first.
+size_t checkAssocInclusionFamily(const std::vector<CacheConfig> &Caches,
+                                 const MetamorphicOptions &Options,
+                                 const MatrixOptions &RunOptions,
+                                 DiagEngine &Diags) {
   MatrixSpec Spec;
   Spec.Workloads = {WorkloadId::Espresso, WorkloadId::Make};
   Spec.Allocators = metamorphicAllocators();
-  Spec.Caches = {{16 * 1024, 32, 1}, {32 * 1024, 32, 2}, {64 * 1024, 32, 4}};
+  Spec.Caches = Caches;
   Spec.Base.Engine.Scale = Options.Scale;
   Spec.Base.Engine.Seed = Options.Seed;
 
@@ -200,6 +201,62 @@ size_t checkAssocInclusion(const MetamorphicOptions &Options,
                   std::to_string(Narrow) + " misses but " +
                   Cell.Result.Caches[C + 1].Config.describe() + " had " +
                   std::to_string(Wide));
+      }
+    }
+  }
+  return Checked;
+}
+
+/// The two conform-meta-assoc chains: 16K direct-mapped, 32K 2-way and 64K
+/// 4-way with 32-byte blocks all have 512 sets; the fully-associative chain
+/// (one set each, Assoc == numBlocks) is the pure stack property.
+size_t checkAssocInclusion(const MetamorphicOptions &Options,
+                           const MatrixOptions &RunOptions,
+                           DiagEngine &Diags) {
+  size_t Checked = 0;
+  Checked += checkAssocInclusionFamily(
+      {{16 * 1024, 32, 1}, {32 * 1024, 32, 2}, {64 * 1024, 32, 4}}, Options,
+      RunOptions, Diags);
+  Checked += checkAssocInclusionFamily({{512, 32, 16}, {1024, 32, 32}},
+                                       Options, RunOptions, Diags);
+  return Checked;
+}
+
+/// conform-meta-engine: switching the cache sweep engine from per-config
+/// simulation to the one-pass stack-distance engine on a stack-legal family
+/// changes no measurement — every cell fingerprint (instruction splits,
+/// reference volumes, per-cache miss counts) is bit-identical. Telemetry is
+/// off here: the stack engine adds its own probes (cache.stackdist.*), so
+/// the snapshots legitimately differ while the measurements must not.
+size_t checkEngineEquivalence(const MetamorphicOptions &Options,
+                              const MatrixOptions &RunOptions,
+                              DiagEngine &Diags) {
+  MatrixSpec PerCfg;
+  PerCfg.Workloads = {WorkloadId::Espresso, WorkloadId::Make};
+  PerCfg.Allocators = metamorphicAllocators();
+  PerCfg.Caches = {{16 * 1024, 32, 1}, {32 * 1024, 32, 2}, {64 * 1024, 32, 4}};
+  PerCfg.Base.Engine.Scale = Options.Scale;
+  PerCfg.Base.Engine.Seed = Options.Seed;
+  PerCfg.Base.CacheEngine = CacheEngineKind::PerConfig;
+  MatrixSpec Stack = PerCfg;
+  Stack.Base.CacheEngine = CacheEngineKind::StackDist;
+
+  ResultStore PerStore = runMatrix(PerCfg, RunOptions);
+  ResultStore StackStore = runMatrix(Stack, RunOptions);
+
+  size_t Checked = 0;
+  for (size_t W = 0; W != PerCfg.Workloads.size(); ++W) {
+    for (size_t A = 0; A != PerCfg.Allocators.size(); ++A) {
+      for (size_t P = 0; P != PerCfg.PenaltiesCycles.size(); ++P) {
+        ++Checked;
+        const CellOutcome &Per = PerStore.at(W, A, P);
+        const CellOutcome &Dist = StackStore.at(W, A, P);
+        if (cellFingerprint(Per) != cellFingerprint(Dist))
+          Diags.error("conform-meta-engine", {},
+                      "cache engine changed cell " +
+                          cellName(PerStore, W, A, P) + ": percfg [" +
+                          cellFingerprint(Per) + "] vs stackdist [" +
+                          cellFingerprint(Dist) + "]");
       }
     }
   }
@@ -308,6 +365,7 @@ size_t allocsim::runMetamorphicSuite(const MetamorphicOptions &Options,
   Checked += checkSplitMerge(Spec, Whole, RunOptions, Diags);
   Checked += checkPermutation(Spec, Whole, RunOptions, Diags);
   Checked += checkAssocInclusion(Options, RunOptions, Diags);
+  Checked += checkEngineEquivalence(Options, RunOptions, Diags);
   Checked += checkRelabelInvariance(Options, Diags);
   return Checked;
 }

@@ -26,7 +26,15 @@
 ///  * conform-meta-assoc: growing a cache from (S sets, k-way) to (S sets,
 ///    2k-way) under LRU never increases misses on any trace (the inclusion
 ///    property, Mattson et al. 1970) — asserted with sets held fixed, i.e.
-///    size and associativity doubled together.
+///    size and associativity doubled together; checked both on a 512-set
+///    chain and on a fully-associative one (a single set, Assoc ==
+///    numBlocks), where inclusion is the pure stack property.
+///  * conform-meta-engine: switching the cache sweep engine from per-config
+///    simulation (CacheBank) to the one-pass stack-distance engine
+///    (StackSim) on a stack-legal family leaves every cell measurement
+///    bit-identical. Run with telemetry off: the stack engine adds its own
+///    probes (cache.stackdist.*), so measurements must agree while the
+///    probe inventories legitimately differ.
 ///  * conform-meta-relabel: renaming every object id through a bijection
 ///    leaves a scripted run's reference stream and miss counts unchanged —
 ///    allocation is driven by request order and sizes, never by the names.

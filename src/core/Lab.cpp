@@ -4,6 +4,7 @@
 
 #include "alloc/CustomAlloc.h"
 #include "alloc/GnuLocal.h"
+#include "cache/StackSim.h"
 #include "inject/FaultInjector.h"
 #include "vm/PageSim.h"
 #include "workload/Driver.h"
@@ -59,16 +60,31 @@ RunResult runWithDriver(const ExperimentConfig &Config, double InstrPerRef,
   if (Config.BatchedDelivery)
     Bus.setBatchCapacity(AccessBatch::MaxCapacity);
 
+  // Cache engine selection: PerConfig builds one CacheSim per geometry in
+  // a CacheBank; StackDist simulates the whole family in one stack-distance
+  // pass. Exactly one of the two is attached; every number harvested below
+  // is bit-identical between them (the engine-equivalence suite holds both
+  // to that).
   CacheBank Caches;
+  std::unique_ptr<StackSim> Stack;
+  if (!Config.Caches.empty() &&
+      Config.CacheEngine == CacheEngineKind::StackDist)
+    Stack = std::make_unique<StackSim>(Config.Caches);
   for (const CacheConfig &CacheConf : Config.Caches)
-    Caches.addCache(CacheConf);
-  if (!Caches.empty())
+    if (!Stack)
+      Caches.addCache(CacheConf);
+  if (Stack)
+    Bus.attach(Stack.get());
+  else if (!Caches.empty())
     Bus.attach(&Caches);
   // Per-set conflict profiles are histogram-grade data, so only the full
   // level pays for the per-set counter arrays.
-  if (Telem && Telem->level() == TelemetryLevel::Full)
+  if (Telem && Telem->level() == TelemetryLevel::Full) {
+    if (Stack)
+      Stack->enableSetProfile();
     for (size_t I = 0; I != Caches.size(); ++I)
       Caches.cache(I).enableSetProfile();
+  }
 
   std::unique_ptr<PageSim> Paging;
   if (!Config.PagingMemoryKb.empty()) {
@@ -145,14 +161,18 @@ RunResult runWithDriver(const ExperimentConfig &Config, double InstrPerRef,
   Result.HeapBytes = Alloc->heapBytes();
   Result.BlocksSearched = Alloc->blocksSearched();
 
-  for (size_t I = 0; I != Caches.size(); ++I) {
-    const CacheSim &Cache = Caches.cache(I);
+  const size_t NumCaches = Stack ? Stack->size() : Caches.size();
+  for (size_t I = 0; I != NumCaches; ++I) {
+    const CacheConfig &CacheConf =
+        Stack ? Stack->config(I) : Caches.cache(I).config();
+    const CacheStats Stats = Stack ? Stack->statsFor(I)
+                                   : Caches.cache(I).stats();
     TimeEstimate Time;
     Time.Instructions = Cost.totalInstructions();
     Time.DataRefs = Bus.totalAccesses();
-    Time.MissRate = Cache.stats().missRate();
+    Time.MissRate = Stats.missRate();
     Time.MissPenalty = Config.MissPenaltyCycles;
-    Result.Caches.push_back({Cache.config(), Cache.stats(), Time});
+    Result.Caches.push_back({CacheConf, Stats, Time});
   }
 
   if (Paging) {
@@ -200,17 +220,36 @@ RunResult runWithDriver(const ExperimentConfig &Config, double InstrPerRef,
   if (Telem) {
     if (Paging)
       Paging->flushRunTelemetry();
+    if (Stack) {
+      // Stack-engine probes: how one pass served the whole family. The
+      // counters ride at summary level; the reuse-distance distribution is
+      // histogram-grade and waits for full.
+      Telem->counter("cache.stackdist.frames")->add(Stack->totalFrames());
+      Telem->counter("cache.stackdist.cold")->add(Stack->coldMisses());
+      Telem->counter("cache.stackdist.members")->add(Stack->size());
+      if (Telem->level() == TelemetryLevel::Full) {
+        TelemetryHistogram *Dist =
+            Telem->histogram("cache.stackdist.distance");
+        const std::vector<uint64_t> Totals = Stack->distanceTotals();
+        for (size_t D = 0; D != Totals.size(); ++D)
+          Dist->record(D, Totals[D]);
+      }
+    }
     if (Telem->level() == TelemetryLevel::Full) {
       // Fold each cache's per-set miss counts into a conflict histogram:
       // one record per set, valued at that set's miss count. A heavy tail
       // here is the figure-6-to-8 conflict story in distribution form.
-      for (size_t I = 0; I != Caches.size(); ++I) {
-        const CacheSim &Cache = Caches.cache(I);
-        if (Cache.setMissProfile().empty())
+      // Both engines surface the same cache.<I>.set_misses names with the
+      // same counts.
+      for (size_t I = 0; I != NumCaches; ++I) {
+        const std::vector<uint64_t> &Profile =
+            Stack ? Stack->setMissProfile(I)
+                  : Caches.cache(I).setMissProfile();
+        if (Profile.empty())
           continue;
         TelemetryHistogram *Hist = Telem->histogram(
             "cache." + std::to_string(I) + ".set_misses");
-        for (uint64_t Misses : Cache.setMissProfile())
+        for (uint64_t Misses : Profile)
           Hist->record(Misses);
       }
     }

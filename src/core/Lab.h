@@ -52,8 +52,19 @@ struct ExperimentConfig {
   /// Workload scaling/seeding (see EngineOptions).
   EngineOptions Engine;
 
-  /// Cache geometries to observe (may be empty).
+  /// Cache geometries to observe (may be empty). Entries must be unique —
+  /// a duplicate would double-count in sweep output and is fatal in the
+  /// cache layer (MatrixRunner diagnoses it per cell instead).
   std::vector<CacheConfig> Caches;
+
+  /// How the cache sweep is simulated. PerConfig (the default) runs one
+  /// CacheSim per entry and accepts arbitrary mixed geometries. StackDist
+  /// runs the whole sweep in one stack-distance pass (cache/StackSim.h) —
+  /// the entries must then share block size and set count (vary only
+  /// associativity). Every reported number is bit-identical between the
+  /// engines where both apply; StackDist just gets there in one pass
+  /// instead of size() passes.
+  CacheEngineKind CacheEngine = CacheEngineKind::PerConfig;
 
   /// Memory sizes (KB) at which to sample the page-fault-rate curve; the
   /// page simulator runs only if non-empty.

@@ -135,6 +135,26 @@ public:
       Snap.Max = Value;
   }
 
+  /// Records \p Value \p Times times in one update — equivalent to calling
+  /// record(Value) in a loop (saturation included), for probes that already
+  /// hold their data as (value, count) pairs. Times == 0 is a no-op: it
+  /// must not disturb Min/Max.
+  void record(uint64_t Value, uint64_t Times) {
+    if (Times == 0)
+      return;
+    uint64_t &Bucket = Snap.Buckets[TelemetryBuckets::indexFor(Value)];
+    Bucket = saturatingAdd(Bucket, Times);
+    Snap.Count = saturatingAdd(Snap.Count, Times);
+    const uint64_t Weight = Value != 0 && Times > UINT64_MAX / Value
+                                ? UINT64_MAX
+                                : Value * Times;
+    Snap.Sum = saturatingAdd(Snap.Sum, Weight);
+    if (Value < Snap.Min)
+      Snap.Min = Value;
+    if (Value > Snap.Max)
+      Snap.Max = Value;
+  }
+
   const HistogramSnapshot &snapshot() const { return Snap; }
 
 private:

@@ -1,6 +1,7 @@
 //===- tests/cache_test.cpp - Cache simulator tests -----------------------===//
 
 #include "cache/CacheSim.h"
+#include "cache/StackSim.h"
 
 #include <gtest/gtest.h>
 
@@ -29,6 +30,81 @@ TEST(CacheConfigTest, Geometry) {
   EXPECT_EQ(Config.numSets(), 512u);
   CacheConfig Assoc{16 * 1024, 32, 4};
   EXPECT_EQ(Assoc.numSets(), 128u);
+}
+
+TEST(CacheConfigTest, DegenerateGeometriesAreRejectedWithoutCrashing) {
+  // Regression: numBlocks()/numSets() used to divide by zero (and the
+  // CacheSim constructor took log2 of BlockBytes before validating), so the
+  // reportFatalError path itself crashed on exactly the configs it existed
+  // to reject. All of these must return cleanly from the queries and be
+  // flagged invalid.
+  CacheConfig ZeroAssoc{16 * 1024, 32, 0};
+  EXPECT_FALSE(ZeroAssoc.valid());
+  EXPECT_EQ(ZeroAssoc.numSets(), 0u);
+
+  CacheConfig ZeroBlock{16 * 1024, 0, 1};
+  EXPECT_FALSE(ZeroBlock.valid());
+  EXPECT_EQ(ZeroBlock.numBlocks(), 0u);
+  EXPECT_EQ(ZeroBlock.numSets(), 0u);
+
+  CacheConfig BlockLargerThanCache{32, 64, 1};
+  EXPECT_FALSE(BlockLargerThanCache.valid());
+  EXPECT_EQ(BlockLargerThanCache.numBlocks(), 0u);
+
+  CacheConfig ZeroEverything{0, 0, 0};
+  EXPECT_FALSE(ZeroEverything.valid());
+  EXPECT_EQ(ZeroEverything.numBlocks(), 0u);
+  EXPECT_EQ(ZeroEverything.numSets(), 0u);
+}
+
+TEST(CacheConfigDeathTest, ConstructorDiagnosesDegenerateGeometry) {
+  // The fatal message must actually be produced (validate before deriving
+  // BlockShift), naming the offending geometry.
+  EXPECT_DEATH({ DirectMappedCache Cache({16 * 1024, 0, 1}); },
+               "invalid cache configuration");
+  EXPECT_DEATH({ SetAssocCache Cache({16 * 1024, 32, 0}); },
+               "invalid cache configuration");
+  EXPECT_DEATH({ DirectMappedCache Cache({32, 64, 1}); },
+               "invalid cache configuration");
+  EXPECT_DEATH({ SetAssocCache Cache({16 * 1024, 24, 1}); },
+               "invalid cache configuration");
+}
+
+TEST(CacheConfigTest, FullyAssociativeIsLegal) {
+  // Assoc == numBlocks() is the fully-associative boundary, not an error.
+  CacheConfig Full{512, 32, 16};
+  EXPECT_TRUE(Full.valid());
+  EXPECT_EQ(Full.numBlocks(), 16u);
+  EXPECT_EQ(Full.numSets(), 1u);
+
+  SetAssocCache Cache(Full);
+  // 16 distinct blocks cycle without a single conflict eviction; block 17
+  // evicts the least recent.
+  for (int Round = 0; Round < 3; ++Round)
+    for (Addr A = 0; A < 16 * 32; A += 32)
+      Cache.access(read4(A));
+  EXPECT_EQ(Cache.stats().Misses, 16u) << "cold misses only";
+  Cache.access(read4(16 * 32)); // evicts block 0
+  Cache.access(read4(0));
+  EXPECT_EQ(Cache.stats().Misses, 18u);
+}
+
+TEST(CacheConfigTest, DescribePrintsSubKilobyteSizesInBytes) {
+  EXPECT_EQ((CacheConfig{512, 32, 16}).describe(), "512B 16-way, 32B blocks");
+  EXPECT_EQ((CacheConfig{64 * 1024, 32, 1}).describe(),
+            "64K direct-mapped, 32B blocks");
+  EXPECT_EQ((CacheConfig{64 * 1024, 32, 4}).describe(),
+            "64K 4-way, 32B blocks");
+  // Total on invalid configs too — it builds the fatal-error message.
+  EXPECT_EQ((CacheConfig{0, 0, 0}).describe(), "0B 0-way, 0B blocks");
+}
+
+TEST(CacheConfigTest, EqualityComparesAllFields) {
+  CacheConfig A{16 * 1024, 32, 1};
+  EXPECT_EQ(A, (CacheConfig{16 * 1024, 32, 1}));
+  EXPECT_NE(A, (CacheConfig{32 * 1024, 32, 1}));
+  EXPECT_NE(A, (CacheConfig{16 * 1024, 64, 1}));
+  EXPECT_NE(A, (CacheConfig{16 * 1024, 32, 2}));
 }
 
 TEST(DirectMappedCacheTest, ColdMissThenHit) {
@@ -191,6 +267,16 @@ TEST(CacheBankTest, SimulatesManyGeometriesAtOnce) {
   EXPECT_EQ(Bank.cache(Large).stats().Misses, 64u) << "cold misses only";
 }
 
+TEST(CacheBankDeathTest, RejectsDuplicateConfigurations) {
+  // Regression: a duplicate geometry used to be silently accepted, double-
+  // counting that config in every sweep table.
+  CacheBank Bank;
+  Bank.addCache({16 * 1024, 32, 1});
+  Bank.addCache({64 * 1024, 32, 1});
+  EXPECT_DEATH(Bank.addCache({16 * 1024, 32, 1}),
+               "duplicate cache configuration");
+}
+
 TEST(CacheBankTest, PaperSweepShape) {
   std::vector<CacheConfig> Sweep = paperCacheSweep();
   ASSERT_EQ(Sweep.size(), 5u);
@@ -201,6 +287,65 @@ TEST(CacheBankTest, PaperSweepShape) {
     EXPECT_EQ(Config.Assoc, 1u);
     EXPECT_TRUE(Config.valid());
   }
+}
+
+TEST(StackSimTest, SweepShapeMatchesPaperFamily) {
+  std::vector<CacheConfig> Sweep = stackCacheSweep();
+  ASSERT_EQ(Sweep.size(), 5u);
+  EXPECT_EQ(Sweep.front(), (CacheConfig{16 * 1024, 32, 1}))
+      << "smallest member is the paper's direct-mapped config";
+  EXPECT_EQ(Sweep.back(), (CacheConfig{256 * 1024, 32, 16}));
+  for (const CacheConfig &Config : Sweep) {
+    EXPECT_TRUE(Config.valid());
+    EXPECT_EQ(Config.numSets(), 512u) << "one shared set count";
+    EXPECT_EQ(Config.BlockBytes, 32u);
+  }
+  EXPECT_EQ(describeStackFamilyProblem(Sweep), "");
+}
+
+TEST(StackSimTest, DerivesPerMemberStatsFromOnePass) {
+  // One-set family (64B two-way and 128B four-way share a single set at
+  // 32B blocks): distances are directly checkable by hand.
+  const std::vector<CacheConfig> Family = {CacheConfig{64, 32, 2},
+                                           CacheConfig{128, 32, 4}};
+  StackSim Stack(Family);
+  // Blocks A B C A: A's reuse distance is 2 — a miss at assoc 2, a hit at
+  // assoc 4. B C are cold-then-never-reused.
+  for (Addr A : {0x00u, 0x40u, 0x80u, 0x00u})
+    Stack.access({A, 4, AccessKind::Read, AccessSource::Application});
+  EXPECT_EQ(Stack.statsFor(0).Accesses, 4u);
+  EXPECT_EQ(Stack.statsFor(0).Misses, 4u) << "2-way: A evicted before reuse";
+  EXPECT_EQ(Stack.statsFor(1).Accesses, 4u);
+  EXPECT_EQ(Stack.statsFor(1).Misses, 3u) << "4-way: only the cold misses";
+  EXPECT_EQ(Stack.statsFor(1).missesFrom(AccessSource::Application), 3u);
+
+  Stack.reset();
+  EXPECT_EQ(Stack.statsFor(0).Accesses, 0u);
+  Stack.access({0x00, 4, AccessKind::Read, AccessSource::Allocator});
+  EXPECT_EQ(Stack.statsFor(0).missesFrom(AccessSource::Allocator), 1u)
+      << "reset must clear stack contents and per-source counters";
+}
+
+TEST(StackSimDeathTest, RejectsIllFormedFamilies) {
+  EXPECT_DEATH({ StackSim Stack({}); }, "at least one cache configuration");
+  // Mixed set counts (the paper sweep is all direct-mapped => sets vary).
+  EXPECT_DEATH({ StackSim Stack(paperCacheSweep()); }, "one set count");
+  // Mixed block sizes.
+  EXPECT_DEATH(
+      {
+        StackSim Stack(
+            {CacheConfig{16 * 1024, 32, 1}, CacheConfig{32 * 1024, 64, 2}});
+      },
+      "one block size");
+  // Duplicates and invalid members funnel through the same validator.
+  EXPECT_DEATH(
+      {
+        StackSim Stack(
+            {CacheConfig{16 * 1024, 32, 1}, CacheConfig{16 * 1024, 32, 1}});
+      },
+      "duplicate cache configuration");
+  EXPECT_DEATH({ StackSim Stack({CacheConfig{16 * 1024, 0, 1}}); },
+               "invalid cache configuration");
 }
 
 TEST(CacheBankTest, MissRateMonotoneInCacheSizeForLoopWorkload) {

@@ -111,6 +111,51 @@ TEST(TelemetryHistogramTest, RecordTracksCountSumMinMax) {
   EXPECT_DOUBLE_EQ(Snap.mean(), 713.0 / 4.0);
 }
 
+TEST(TelemetryHistogramTest, BulkRecordEqualsRepeatedScalarRecord) {
+  // The stack-distance engine flushes whole distance histograms at once via
+  // record(Value, Times); the result must be indistinguishable from Times
+  // scalar record(Value) calls.
+  TelemetryHistogram Bulk, Scalar;
+  const std::pair<uint64_t, uint64_t> Entries[] = {
+      {0, 3}, {5, 1}, {42, 7}, {1 << 20, 2}};
+  for (auto [Value, Times] : Entries) {
+    Bulk.record(Value, Times);
+    for (uint64_t I = 0; I != Times; ++I)
+      Scalar.record(Value);
+  }
+  EXPECT_EQ(Bulk.snapshot(), Scalar.snapshot());
+}
+
+TEST(TelemetryHistogramTest, BulkRecordZeroTimesIsANoOp) {
+  // Times == 0 must not disturb anything — in particular not Min/Max,
+  // which a naive implementation would clobber with the unrecorded value.
+  TelemetryHistogram Hist;
+  Hist.record(10);
+  Hist.record(3, 0);
+  Hist.record(9999, 0);
+  const HistogramSnapshot &Snap = Hist.snapshot();
+  EXPECT_EQ(Snap.Count, 1u);
+  EXPECT_EQ(Snap.Min, 10u);
+  EXPECT_EQ(Snap.Max, 10u);
+
+  TelemetryHistogram Empty;
+  Empty.record(7, 0);
+  EXPECT_EQ(Empty.snapshot(), HistogramSnapshot{});
+}
+
+TEST(TelemetryHistogramTest, BulkRecordSaturatesSumAndBuckets) {
+  TelemetryHistogram Hist;
+  Hist.record(UINT64_MAX / 2, 3); // weight overflows uint64
+  const HistogramSnapshot &Snap = Hist.snapshot();
+  EXPECT_EQ(Snap.Count, 3u);
+  EXPECT_EQ(Snap.Sum, UINT64_MAX) << "overflowing weight must saturate";
+
+  TelemetryHistogram Counts;
+  Counts.record(1, UINT64_MAX);
+  Counts.record(1, 5);
+  EXPECT_EQ(Counts.snapshot().Count, UINT64_MAX);
+}
+
 //===----------------------------------------------------------------------===//
 // Registry levels
 //===----------------------------------------------------------------------===//

@@ -5,7 +5,9 @@ violations, and the pass/fail edges of the ratio and floor comparisons.
 
 Run directly or through ctest (registered in tests/CMakeLists.txt). The
 scripts are exercised as subprocesses — exit codes are the contract CI
-relies on: 0 = pass, 1 = regression/malformed report, 2 = bad usage.
+relies on. For the perf gate: 0 = pass, 1 = regression or a malformed
+*current* report, 2 = bad usage or a malformed/missing *baseline* (a
+broken gate must fail loudly, not pass vacuously).
 """
 
 import json
@@ -45,6 +47,21 @@ def perf_config(name, speedup, **overrides):
 
 def perf_report(*configs):
     return {"schema": "allocsim-bench-pipeline-v1", "configs": list(configs)}
+
+
+def engines_config(name, speedup, **overrides):
+    config = {
+        "name": name,
+        "percfg_refs_per_sec": 1e6,
+        "stackdist_refs_per_sec": speedup * 1e6,
+        "speedup": speedup,
+    }
+    config.update(overrides)
+    return config
+
+
+def engines_report(*configs):
+    return {"schema": "allocsim-bench-engines-v1", "configs": list(configs)}
 
 
 class GateTestCase(unittest.TestCase):
@@ -115,18 +132,35 @@ class CheckPerfBaselineTest(GateTestCase):
             code, _ = run_gate(PERF_GATE, base, base, "--tolerance", bad)
             self.assertEqual(code, 2, f"--tolerance {bad}")
 
-    def test_malformed_json_fails_cleanly(self):
+    def test_malformed_current_fails(self):
         base = self.write("base.json", perf_report(perf_config("c", 2.0)))
         broken = self.write("broken.json", "{not json")
-        for pair in ((broken, base), (base, broken)):
-            code, out = run_gate(PERF_GATE, *pair)
-            self.assertEqual(code, 1, out)
-            self.assertIn("cannot read", out)
+        code, out = run_gate(PERF_GATE, base, broken)
+        self.assertEqual(code, 1, out)
+        self.assertIn("cannot read", out)
 
-    def test_missing_file_fails_cleanly(self):
+    def test_malformed_baseline_is_broken_gate(self):
+        # A broken *baseline* means the gate itself cannot gate: that must
+        # be exit 2, loudly, never a vacuous pass or a mere exit 1 that a
+        # later green pair could mask.
+        base = self.write("base.json", perf_report(perf_config("c", 2.0)))
+        broken = self.write("broken.json", "{not json")
+        code, out = run_gate(PERF_GATE, broken, base)
+        self.assertEqual(code, 2, out)
+        self.assertIn("bad baseline", out)
+
+    def test_missing_current_fails(self):
         base = self.write("base.json", perf_report(perf_config("c", 2.0)))
         code, out = run_gate(PERF_GATE, base, os.path.join(self.dir.name, "nope.json"))
         self.assertEqual(code, 1, out)
+
+    def test_missing_baseline_is_broken_gate(self):
+        cur = self.write("cur.json", perf_report(perf_config("c", 2.0)))
+        code, out = run_gate(
+            PERF_GATE, os.path.join(self.dir.name, "nope.json"), cur
+        )
+        self.assertEqual(code, 2, out)
+        self.assertIn("bad baseline", out)
 
     def test_wrong_schema_rejected(self):
         base = self.write("base.json", perf_report(perf_config("c", 2.0)))
@@ -189,6 +223,74 @@ class CheckPerfBaselineTest(GateTestCase):
         )
         code, out = run_gate(PERF_GATE, base, cur)
         self.assertEqual(code, 0, out)
+
+    def test_odd_path_count_is_usage_error(self):
+        base = self.write("base.json", perf_report(perf_config("c", 2.0)))
+        code, out = run_gate(PERF_GATE, base)
+        self.assertEqual(code, 2, out)
+        code, out = run_gate(PERF_GATE, base, base, base)
+        self.assertEqual(code, 2, out)
+
+    def test_engines_schema_gates_like_pipeline(self):
+        base = self.write("base.json", engines_report(engines_config("fig678", 6.0)))
+        good = self.write("good.json", engines_report(engines_config("fig678", 5.5)))
+        code, out = run_gate(PERF_GATE, base, good)
+        self.assertEqual(code, 0, out)
+        bad = self.write("bad.json", engines_report(engines_config("fig678", 3.0)))
+        code, out = run_gate(PERF_GATE, base, bad)
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSED", out)
+
+    def test_schema_mismatch_within_pair_fails(self):
+        base = self.write("base.json", perf_report(perf_config("c", 2.0)))
+        other = self.write("other.json", engines_report(engines_config("c", 2.0)))
+        code, out = run_gate(PERF_GATE, base, other)
+        self.assertEqual(code, 1, out)
+        self.assertIn("schema mismatch", out)
+
+    def test_multiple_pairs_worst_exit_wins(self):
+        base = self.write("base.json", perf_report(perf_config("c", 2.0)))
+        good = self.write("good.json", perf_report(perf_config("c", 2.0)))
+        bad = self.write("bad.json", perf_report(perf_config("c", 1.0)))
+        ebase = self.write("ebase.json", engines_report(engines_config("e", 6.0)))
+        egood = self.write("egood.json", engines_report(engines_config("e", 6.0)))
+        code, out = run_gate(PERF_GATE, base, good, ebase, egood)
+        self.assertEqual(code, 0, out)
+        # A failing pair is not masked by a later passing one.
+        code, out = run_gate(PERF_GATE, base, bad, ebase, egood)
+        self.assertEqual(code, 1, out)
+        # A broken baseline dominates a mere regression.
+        broken = self.write("broken.json", "{not json")
+        code, out = run_gate(PERF_GATE, base, bad, broken, egood)
+        self.assertEqual(code, 2, out)
+
+    def test_min_speedup_is_an_absolute_floor(self):
+        # min_speedup pins a claim ("stackdist is >= 5x on this sweep")
+        # that the 30% tolerance would otherwise erode: baseline 8.0 with
+        # tolerance floor 5.6 vs min_speedup 5.0 -> the tighter of the two
+        # gates (5.6 here); with a baseline of 6.0 the tolerance floor 4.2
+        # would pass 4.5, but min_speedup 5.0 must not.
+        base = self.write(
+            "base.json",
+            engines_report(engines_config("dense", 6.0, min_speedup=5.0)),
+        )
+        ok = self.write("ok.json", engines_report(engines_config("dense", 5.2)))
+        code, out = run_gate(PERF_GATE, base, ok)
+        self.assertEqual(code, 0, out)
+        self.assertIn("min_speedup", out)
+        below = self.write("below.json", engines_report(engines_config("dense", 4.5)))
+        code, out = run_gate(PERF_GATE, base, below)
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSED", out)
+
+    def test_committed_baselines_are_loadable(self):
+        # The real baselines at the repo root must stay parseable: a decayed
+        # committed baseline must show up here, not as a vacuous CI pass.
+        for name in ("BENCH_pipeline.json", "BENCH_cache_engines.json"):
+            committed = os.path.join(REPO_ROOT, name)
+            self.assertTrue(os.path.exists(committed), committed)
+            code, out = run_gate(PERF_GATE, committed, committed)
+            self.assertEqual(code, 0, (name, out))
 
 
 class CheckCoverageTest(GateTestCase):
